@@ -1,0 +1,79 @@
+// ABL-ENV — environment ablations the paper leaves open:
+//   1. HTTP/2 everywhere: multiplexing already removes the 6-connection
+//      bottleneck for re-validations — how much of catalyst's win
+//      survives? (Each dependency level still costs an RTT.)
+//   2. Mobile-class clients: slower parse/execute shifts PLT from network
+//      to compute; the paper motivates with mobile web performance.
+//   3. DNS lookups on first connections (cold-load realism).
+#include <cstdio>
+
+#include "bench_common.h"
+#include "util/table.h"
+
+using namespace catalyst;
+using namespace catalyst::bench;
+
+namespace {
+
+struct Row {
+  const char* name;
+  core::StrategyOptions options;
+};
+
+}  // namespace
+
+int main() {
+  const int n_sites = site_count(30);
+  const auto sites = make_corpus(n_sites, /*clone=*/true);
+  const auto conditions = netsim::NetworkConditions::median_5g();
+  const auto delays = core::paper_revisit_delays();
+
+  core::StrategyOptions h2;
+  h2.browser_protocol = netsim::Protocol::H2;
+  core::StrategyOptions mobile;
+  mobile.mobile_client = true;
+  core::StrategyOptions dns;
+  dns.dns_lookup = milliseconds(30);
+
+  const Row rows[] = {
+      {"desktop, HTTP/1.1 x6 (default)", {}},
+      {"desktop, HTTP/2 multiplexed", h2},
+      {"mobile-class client, HTTP/1.1", mobile},
+      {"with 30 ms DNS lookups", dns},
+  };
+
+  Table table(str_format(
+      "Environment ablations at %s (%d sites x 5 delays)",
+      conditions.label().c_str(), n_sites));
+  table.set_header({"environment", "baseline revisit ms",
+                    "catalyst revisit ms", "reduction"});
+  for (const Row& row : rows) {
+    Summary base, cat, reduction;
+    for (const auto& site : sites) {
+      for (const Duration delay : delays) {
+        const auto b = core::run_revisit_pair(
+            site, conditions, core::StrategyKind::Baseline, delay,
+            row.options);
+        const auto c = core::run_revisit_pair(
+            site, conditions, core::StrategyKind::Catalyst, delay,
+            row.options);
+        const double bm = to_millis(b.revisit.plt());
+        const double cm = to_millis(c.revisit.plt());
+        base.add(bm);
+        cat.add(cm);
+        reduction.add(100.0 * (bm - cm) / bm);
+      }
+    }
+    table.add_row({row.name, ms(base.mean()), ms(cat.mean()),
+                   str_format("%+.1f%% ±%.1f", reduction.mean(),
+                              reduction.ci95_halfwidth())});
+  }
+  table.print();
+  std::printf(
+      "\nExpected: H2 multiplexing shrinks baseline's revalidation cost "
+      "(parallel\n304s), so catalyst's relative win drops but stays "
+      "positive — dependency\nchains still pay per-level RTTs. Mobile "
+      "compute dilutes network savings\nslightly. DNS affects both arms "
+      "equally (cold connections only).\n");
+  return 0;
+}

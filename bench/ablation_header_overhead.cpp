@@ -1,0 +1,75 @@
+// ABL-HDR — X-Etag-Config header-overhead analysis: map wire size vs
+// resource count, and its PLT cost on cold loads at low vs high
+// throughput. The map rides on every base-HTML response, so its bytes are
+// catalyst's only recurring cost.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "http/etag_config.h"
+#include "util/table.h"
+
+using namespace catalyst;
+using namespace catalyst::bench;
+
+namespace {
+
+http::EtagConfig synthetic_map(int entries) {
+  http::EtagConfig map;
+  for (int i = 0; i < entries; ++i) {
+    map.add(str_format("/assets/resource-%03d.css", i),
+            http::Etag{"0123456789abcdef", false});
+  }
+  return map;
+}
+
+}  // namespace
+
+int main() {
+  // Part 1: wire size scaling.
+  Table size_table(
+      "X-Etag-Config wire size vs number of mapped resources");
+  size_table.set_header({"resources", "header bytes", "bytes/entry",
+                         "tx @8Mbps", "tx @60Mbps"});
+  for (const int n : {10, 25, 50, 100, 200, 400}) {
+    const auto map = synthetic_map(n);
+    const ByteCount size = map.header_wire_size();
+    size_table.add_row(
+        {std::to_string(n), std::to_string(size),
+         str_format("%.1f", static_cast<double>(size) / n),
+         format_duration(mbps(8).transmission_time(size)),
+         format_duration(mbps(60).transmission_time(size))});
+  }
+  size_table.print();
+
+  // Part 2: end-to-end overhead — catalyst cold loads vs baseline cold
+  // loads (the map + SW snippet are pure overhead on a cold cache).
+  const int n_sites = site_count(25);
+  const auto sites = make_corpus(n_sites, /*clone=*/true);
+  Table plt_table(str_format(
+      "Cold-load overhead of the catalyst header (%d sites)", n_sites));
+  plt_table.set_header(
+      {"conditions", "baseline cold ms", "catalyst cold ms", "overhead"});
+  for (const auto& c : {netsim::NetworkConditions::median_5g(),
+                        netsim::NetworkConditions::low_throughput(
+                            milliseconds(40))}) {
+    Summary base, cat;
+    for (const auto& site : sites) {
+      base.add(to_millis(core::run_revisit_pair(
+                             site, c, core::StrategyKind::Baseline,
+                             minutes(1))
+                             .cold.plt()));
+      cat.add(to_millis(core::run_revisit_pair(
+                            site, c, core::StrategyKind::Catalyst,
+                            minutes(1))
+                            .cold.plt()));
+    }
+    plt_table.add_row(
+        {c.label(), ms(base.mean()), ms(cat.mean()),
+         pct(100.0 * (cat.mean() - base.mean()) / base.mean())});
+  }
+  plt_table.print();
+  std::printf(
+      "\nExpected: tens of bytes per mapped resource; worst-case cold "
+      "overhead\nstays in the low single-digit percent even at 8 Mbps.\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// ABL-STALE — the correctness side of the paper's argument: status-quo
+// caching serves *stale* content whenever a TTL outlives the real change
+// (the flip side of conservative TTLs is optimistic ones), while
+// CacheCatalyst's map makes every reuse decision against the origin's
+// current ETags. Also contrasts the two revisit-schedule readings of the
+// paper's methodology (independent pairs vs one cumulative session).
+#include <cstdio>
+
+#include "bench_common.h"
+#include "util/table.h"
+
+using namespace catalyst;
+using namespace catalyst::bench;
+
+int main() {
+  const int n_sites = site_count(40);
+  // Live workload: content must actually change for staleness to exist.
+  const auto sites = make_corpus(n_sites, /*clone=*/false);
+  const auto conditions = netsim::NetworkConditions::median_5g();
+  const auto delays = core::paper_revisit_delays();
+  const char* names[] = {"1 min", "1 hour", "6 hours", "1 day", "1 week"};
+
+  Table table(str_format(
+      "Stale serves per revisit (live workload, %d sites, %s)", n_sites,
+      conditions.label().c_str()));
+  table.set_header({"revisit delay", "baseline stale", "catalyst stale",
+                    "baseline PLT ms", "catalyst PLT ms"});
+  for (std::size_t d = 0; d < delays.size(); ++d) {
+    Summary base_stale, cat_stale, base_plt, cat_plt;
+    for (const auto& site : sites) {
+      const auto base = core::run_revisit_pair(
+          site, conditions, core::StrategyKind::Baseline, delays[d]);
+      const auto cat = core::run_revisit_pair(
+          site, conditions, core::StrategyKind::Catalyst, delays[d]);
+      base_stale.add(base.revisit.stale_served);
+      cat_stale.add(cat.revisit.stale_served);
+      base_plt.add(to_millis(base.revisit.plt()));
+      cat_plt.add(to_millis(cat.revisit.plt()));
+    }
+    table.add_row({names[d], str_format("%.2f", base_stale.mean()),
+                   str_format("%.2f", cat_stale.mean()),
+                   ms(base_plt.mean()), ms(cat_plt.mean())});
+  }
+  table.print();
+
+  // Schedule ablation: independent cold+revisit pairs (our default,
+  // isolates each delay) vs one cumulative session that reloads at every
+  // delay (cache state accumulates and 304s keep refreshing TTLs).
+  Table sched(str_format(
+      "Revisit-schedule reading: independent pairs vs cumulative session "
+      "(%d sites)",
+      n_sites));
+  sched.set_header({"delay", "pair: base ms", "pair: cat ms",
+                    "cumulative: base ms", "cumulative: cat ms"});
+  std::vector<Summary> cum_base(delays.size()), cum_cat(delays.size());
+  std::vector<Summary> pair_base(delays.size()), pair_cat(delays.size());
+  for (const auto& site : sites) {
+    const auto base_seq = core::run_visit_sequence(
+        site, conditions, core::StrategyKind::Baseline, delays);
+    const auto cat_seq = core::run_visit_sequence(
+        site, conditions, core::StrategyKind::Catalyst, delays);
+    for (std::size_t d = 0; d < delays.size(); ++d) {
+      cum_base[d].add(to_millis(base_seq[d + 1].plt()));
+      cum_cat[d].add(to_millis(cat_seq[d + 1].plt()));
+      const auto bp = core::run_revisit_pair(
+          site, conditions, core::StrategyKind::Baseline, delays[d]);
+      const auto cp = core::run_revisit_pair(
+          site, conditions, core::StrategyKind::Catalyst, delays[d]);
+      pair_base[d].add(to_millis(bp.revisit.plt()));
+      pair_cat[d].add(to_millis(cp.revisit.plt()));
+    }
+  }
+  for (std::size_t d = 0; d < delays.size(); ++d) {
+    sched.add_row({names[d], ms(pair_base[d].mean()),
+                   ms(pair_cat[d].mean()), ms(cum_base[d].mean()),
+                   ms(cum_cat[d].mean())});
+  }
+  sched.print();
+  std::printf(
+      "\nExpected: the baseline serves a fraction of a resource per visit "
+      "stale\n(changed-but-TTL-fresh); catalyst's SW serves none — its "
+      "only flagged\nserves come from plain-HTTP-cache fallbacks for "
+      "uncovered resources.\nCumulative sessions flatter the baseline at "
+      "long delays (each reload\nrefreshes TTLs) without changing the "
+      "ordering.\n");
+  return 0;
+}

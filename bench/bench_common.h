@@ -1,0 +1,51 @@
+// Shared helpers for the experiment benches.
+#pragma once
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "util/strings.h"
+#include "workload/sitegen.h"
+
+namespace catalyst::bench {
+
+/// Number of synthetic top-sites to evaluate. The paper used 100; the
+/// benches default lower to keep a full `for b in build/bench/*` sweep
+/// fast. Override with CATALYST_SITES=100 for the full corpus.
+inline int site_count(int fallback = 50) {
+  if (const char* env = std::getenv("CATALYST_SITES")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return fallback;
+}
+
+/// The synthetic top-site corpus. `clone` mirrors the paper's methodology
+/// (static snapshots served from one origin; content frozen during the
+/// revisit window).
+inline std::vector<std::shared_ptr<server::Site>> make_corpus(
+    int count, bool clone, std::uint64_t seed = 2024) {
+  std::vector<std::shared_ptr<server::Site>> sites;
+  sites.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    workload::SitegenParams params;
+    params.seed = seed;
+    params.site_index = i;
+    params.clone_static_snapshot = clone;
+    sites.push_back(workload::generate_site(params));
+  }
+  return sites;
+}
+
+inline std::string pct(double value) {
+  return str_format("%+.1f%%", value);
+}
+
+inline std::string ms(double value) {
+  return str_format("%.1f", value);
+}
+
+}  // namespace catalyst::bench

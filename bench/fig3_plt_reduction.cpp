@@ -1,0 +1,69 @@
+// FIG3 — regenerates Figure 3: average % PLT reduction of CacheCatalyst
+// over status-quo caching across the throughput × latency grid, averaged
+// over the synthetic top-site corpus and the paper's five revisit delays
+// (1 min, 1 h, 6 h, 1 d, 1 w). Workload: static clones (the paper's
+// methodology). Expectation: ≈0–15% at 8 Mbps, rising with latency, with
+// ~30% around the global-5G-median condition (60 Mbps / 40 ms).
+#include <cstdio>
+
+#include "bench_common.h"
+#include "util/table.h"
+
+using namespace catalyst;
+using namespace catalyst::bench;
+
+int main() {
+  const int n_sites = site_count();
+  const auto sites = make_corpus(n_sites, /*clone=*/true);
+  const auto delays = core::paper_revisit_delays();
+
+  const double throughputs[] = {8, 25, 60};
+  const double latencies[] = {10, 20, 40, 80};
+
+  Table table(str_format(
+      "Figure 3 — mean PLT reduction (catalyst vs baseline), %d sites x 5 "
+      "revisit delays",
+      n_sites));
+  table.set_header({"throughput", "10 ms", "20 ms", "40 ms", "80 ms"});
+
+  std::vector<std::vector<double>> series;
+  for (const double mbps_down : throughputs) {
+    std::vector<std::string> row = {str_format("%.0f Mbps", mbps_down)};
+    std::vector<double> means;
+    for (const double rtt_ms : latencies) {
+      netsim::NetworkConditions c;
+      c.downlink = mbps(mbps_down);
+      c.uplink = mbps(mbps_down / 5.0);
+      c.rtt = milliseconds_f(rtt_ms);
+      const Summary s = core::plt_reduction_summary(
+          sites, c, core::StrategyKind::Catalyst,
+          core::StrategyKind::Baseline, delays);
+      means.push_back(s.mean());
+      row.push_back(str_format("%+.1f%% ±%.1f", s.mean(),
+                               s.ci95_halfwidth()));
+    }
+    series.push_back(means);
+    table.add_row(std::move(row));
+  }
+  table.print();
+
+  // ASCII rendition of the figure: one series per throughput.
+  std::printf("\nPLT reduction vs last-mile RTT (one series per "
+              "throughput):\n");
+  for (std::size_t t = 0; t < series.size(); ++t) {
+    std::printf("  %2.0f Mbps ", throughputs[t]);
+    for (std::size_t l = 0; l < series[t].size(); ++l) {
+      const int bar = std::max(0, static_cast<int>(series[t][l] / 1.5));
+      std::printf("| %3.0fms %-24.*s (%4.1f%%) ",
+                  latencies[l], bar,
+                  "########################", series[t][l]);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nPaper's qualitative claims to check: gains grow with latency at "
+      "fixed\nthroughput; gains grow with throughput at fixed latency; "
+      "8 Mbps shows the\nsmallest improvement (bandwidth, not latency, is "
+      "the bottleneck there).\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// ABL-TTL — reproduces the misconfiguration statistics that motivate the
+// paper (§2.2) on the live synthetic workload:
+//   * Marauder [30]: 47% of resources expire in cache although their
+//     content has not changed.
+//   * Liu et al. [19]: 40% of resources get TTL < 1 day, and 86% of those
+//     do not change within that period.
+//   * Redundant transfers: bytes re-sent on a revisit although the client
+//     already held identical content.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "cache/freshness.h"
+#include "server/static_handler.h"
+#include "util/table.h"
+
+using namespace catalyst;
+using namespace catalyst::bench;
+
+int main() {
+  const int n_sites = site_count();
+  // Live workload: real change processes (a frozen clone would make the
+  // "unchanged" fractions trivially 100%).
+  const auto sites = make_corpus(n_sites, /*clone=*/false);
+
+  // --- TTL distribution stats (static over the corpus) ------------------
+  int cacheable = 0, with_ttl = 0, ttl_under_day = 0,
+      ttl_under_day_unchanged = 0;
+  for (const auto& site : sites) {
+    for (const auto& [path, resource] : site->resources()) {
+      const http::CacheControl cc = resource->cache_policy();
+      if (cc.no_store) continue;
+      ++cacheable;
+      if (!cc.max_age) continue;
+      ++with_ttl;
+      if (*cc.max_age < hours(24)) {
+        ++ttl_under_day;
+        if (!resource->changes().changes_in(TimePoint{},
+                                            TimePoint{} + *cc.max_age)) {
+          ++ttl_under_day_unchanged;
+        }
+      }
+    }
+  }
+
+  // --- Expire-unchanged and redundant-transfer stats per revisit delay --
+  Table table(str_format(
+      "Cache waste on the live workload (%d sites) — baseline caching",
+      n_sites));
+  table.set_header({"revisit delay", "expired unchanged",
+                    "redundant bytes", "of page weight"});
+  const char* names[] = {"1 min", "1 hour", "6 hours", "1 day", "1 week"};
+  const auto delays = core::paper_revisit_delays();
+  double expired_unchanged_at_1d = 0.0;
+  for (std::size_t d = 0; d < delays.size(); ++d) {
+    int stored = 0, expired_unchanged = 0;
+    ByteCount redundant = 0, total_weight = 0;
+    for (const auto& site : sites) {
+      const TimePoint revisit = TimePoint{} + delays[d];
+      for (const auto& [path, resource] : site->resources()) {
+        total_weight += resource->wire_size();
+        const http::CacheControl cc = resource->cache_policy();
+        const bool unchanged =
+            !resource->changes().changes_in(TimePoint{}, revisit);
+        if (cc.no_store) {
+          // Re-downloaded every visit: redundant when unchanged.
+          if (unchanged) redundant += resource->wire_size();
+          continue;
+        }
+        ++stored;
+        const Duration lifetime =
+            cc.max_age.value_or(Duration::zero());
+        const bool expired = cc.no_cache || lifetime < delays[d];
+        if (expired && unchanged) ++expired_unchanged;
+      }
+    }
+    const double frac =
+        100.0 * expired_unchanged / std::max(1, stored);
+    if (delays[d] == hours(24)) expired_unchanged_at_1d = frac;
+    table.add_row({names[d], str_format("%.1f%%", frac),
+                   format_bytes(redundant),
+                   str_format("%.1f%%",
+                              100.0 * static_cast<double>(redundant) /
+                                  static_cast<double>(total_weight))});
+  }
+  table.print();
+
+  std::printf(
+      "\nTTL assignment stats: %.1f%% of TTL'd resources get TTL < 1 day "
+      "(study: ~40%%);\nof those, %.1f%% do not change within that TTL "
+      "(study: 86%%).\nResources expiring unchanged at the 1-day revisit: "
+      "%.1f%% (study: 47%%).\n(%d cacheable resources, %d with explicit "
+      "TTLs.)\n",
+      100.0 * ttl_under_day / std::max(1, with_ttl),
+      100.0 * ttl_under_day_unchanged / std::max(1, ttl_under_day),
+      expired_unchanged_at_1d, cacheable, with_ttl);
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Detailed waterfall inspection of one page load, with a JSON trace export
+// (HAR-flavoured) for external tooling:
+//   ./build/examples/waterfall_trace [site_index] [revisit_hours]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/experiment.h"
+#include "util/json.h"
+#include "util/strings.h"
+#include "workload/sitegen.h"
+
+using namespace catalyst;
+
+namespace {
+
+Json trace_to_json(const client::PageLoadResult& result) {
+  Json entries = Json::array();
+  for (const auto& t : result.trace.traces()) {
+    Json entry = Json::object();
+    entry.set("url", Json::string(t.url));
+    entry.set("class",
+              Json::string(std::string(http::class_label(t.resource_class))));
+    entry.set("start_ms",
+              Json::number(to_millis(t.start - result.start)));
+    entry.set("finish_ms",
+              Json::number(to_millis(t.finish - result.start)));
+    entry.set("source",
+              Json::string(std::string(netsim::to_string(t.source))));
+    entry.set("bytes_down",
+              Json::number(static_cast<double>(t.bytes_down)));
+    entries.push_back(std::move(entry));
+  }
+  Json root = Json::object();
+  root.set("plt_ms", Json::number(to_millis(result.plt())));
+  root.set("rtts", Json::number(result.rtts));
+  root.set("bytes_downloaded",
+           Json::number(static_cast<double>(result.bytes_downloaded)));
+  root.set("entries", std::move(entries));
+  return root;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  workload::SitegenParams params;
+  params.seed = 7;
+  params.site_index = argc > 1 ? std::atoi(argv[1]) : 3;
+  auto site = workload::generate_site(params);
+  const Duration delay = hours(argc > 2 ? std::atoi(argv[2]) : 6);
+
+  const auto conditions = netsim::NetworkConditions::median_5g();
+  auto tb = core::make_testbed(site, conditions,
+                               core::StrategyKind::Catalyst);
+
+  std::printf("== cold load of https://%s%s (%s) ==\n", site->host().c_str(),
+              site->index_path().c_str(), conditions.label().c_str());
+  const auto cold = core::run_visit(tb, TimePoint{});
+  std::printf("%s\n", cold.trace.render_waterfall(64).c_str());
+
+  std::printf("== revisit after %s (CacheCatalyst active) ==\n",
+              format_duration(delay).c_str());
+  const auto revisit = core::run_visit(tb, TimePoint{} + delay);
+  std::printf("%s\n", revisit.trace.render_waterfall(64).c_str());
+
+  std::printf("== JSON trace of the revisit ==\n%s\n",
+              trace_to_json(revisit).dump().c_str());
+  return 0;
+}

@@ -1,0 +1,22 @@
+// A stored HTTP response plus the metadata RFC 9111 needs to age it.
+#pragma once
+
+#include <optional>
+
+#include "http/message.h"
+#include "util/types.h"
+
+namespace catalyst::cache {
+
+struct CacheEntry {
+  http::Response response;
+  TimePoint request_time{};   // when the request was initiated
+  TimePoint response_time{};  // when the response arrived
+
+  /// Storage cost: response wire size plus a small bookkeeping overhead.
+  ByteCount cost() const { return response.wire_size() + 64; }
+
+  std::optional<http::Etag> etag() const { return response.etag(); }
+};
+
+}  // namespace catalyst::cache

@@ -1,0 +1,26 @@
+// Freshness lifetime and age computation (RFC 9111 §4.2).
+//
+// The paper's critique lives here: a response is served from cache only
+// while fresh; expired-but-unchanged responses force a re-validation RTT.
+#pragma once
+
+#include "cache/entry.h"
+#include "util/types.h"
+
+namespace catalyst::cache {
+
+/// Freshness lifetime (RFC 9111 §4.2.1): Cache-Control max-age wins, then
+/// Expires − Date. With `allow_heuristic`, responses lacking explicit
+/// lifetimes get the 10%-of-Last-Modified-age heuristic (§4.2.2), capped
+/// at one day (matching common browser practice). no-cache forces zero.
+Duration freshness_lifetime(const http::Response& response,
+                            bool allow_heuristic);
+
+/// Current age (RFC 9111 §4.2.3), simplified for a single-hop private
+/// cache: apparent age from the Date header plus resident time.
+Duration current_age(const CacheEntry& entry, TimePoint now);
+
+/// response_is_fresh = freshness_lifetime > current_age (§4.2).
+bool is_fresh(const CacheEntry& entry, TimePoint now, bool allow_heuristic);
+
+}  // namespace catalyst::cache

@@ -1,0 +1,83 @@
+#include "cache/http_cache.h"
+
+#include "cache/freshness.h"
+#include "util/strings.h"
+
+namespace catalyst::cache {
+
+HttpCache::HttpCache(ByteCount capacity, bool allow_heuristic)
+    : store_(capacity), allow_heuristic_(allow_heuristic) {}
+
+LookupResult HttpCache::lookup(const std::string& url, TimePoint now) {
+  ++stats_.lookups;
+  CacheEntry* entry = store_.get(url);
+  if (entry == nullptr) {
+    ++stats_.misses;
+    return LookupResult{LookupDecision::Miss, nullptr};
+  }
+  const http::CacheControl cc = entry->response.cache_control();
+  if (!cc.must_revalidate && !cc.no_cache &&
+      is_fresh(*entry, now, allow_heuristic_)) {
+    ++stats_.fresh_hits;
+    return LookupResult{LookupDecision::FreshHit, entry};
+  }
+  // Stale (or always-revalidate): usable only after validation — but only
+  // if we hold a validator; otherwise it is as good as a miss.
+  if (entry->etag() ||
+      entry->response.headers.contains(http::kLastModified)) {
+    ++stats_.revalidations;
+    return LookupResult{LookupDecision::NeedsRevalidation, entry};
+  }
+  ++stats_.misses;
+  return LookupResult{LookupDecision::Miss, nullptr};
+}
+
+bool HttpCache::store(const std::string& url, http::Response response,
+                      TimePoint request_time, TimePoint response_time) {
+  const http::CacheControl cc = response.cache_control();
+  if (cc.no_store) {
+    ++stats_.rejected_no_store;
+    return false;
+  }
+  if (!http::is_cacheable_status(response.status)) return false;
+  // A response with no freshness info and no validator can never be
+  // reused; storing it would only waste space.
+  if (!cc.max_age && !cc.no_cache &&
+      !response.headers.contains(http::kExpires) &&
+      !response.headers.contains(http::kEtagHeader) &&
+      !response.headers.contains(http::kLastModified)) {
+    return false;
+  }
+  CacheEntry entry;
+  entry.response = std::move(response);
+  entry.request_time = request_time;
+  entry.response_time = response_time;
+  if (store_.put(url, std::move(entry))) {
+    ++stats_.stores;
+    return true;
+  }
+  return false;
+}
+
+const CacheEntry* HttpCache::apply_not_modified(
+    const std::string& url, const http::Response& not_modified,
+    TimePoint request_time, TimePoint response_time) {
+  CacheEntry* entry = store_.get(url);
+  if (entry == nullptr) return nullptr;
+  // Refresh stored metadata from the 304 (RFC 9111 §4.3.4): validators and
+  // freshness-related headers.
+  for (const auto& field : not_modified.headers.fields()) {
+    if (iequals(field.name, http::kEtagHeader) ||
+        iequals(field.name, http::kCacheControl) ||
+        iequals(field.name, http::kExpires) ||
+        iequals(field.name, http::kDate) ||
+        iequals(field.name, http::kLastModified)) {
+      entry->response.headers.set(field.name, field.value);
+    }
+  }
+  entry->request_time = request_time;
+  entry->response_time = response_time;
+  return entry;
+}
+
+}  // namespace catalyst::cache

@@ -1,0 +1,62 @@
+#include "cache/storage.h"
+
+namespace catalyst::cache {
+
+LruStore::LruStore(ByteCount capacity) : capacity_(capacity) {}
+
+bool LruStore::put(const std::string& key, CacheEntry entry) {
+  const ByteCount cost = entry.cost();
+  if (cost > capacity_) return false;
+  erase(key);
+  evict_to_fit(cost);
+  lru_.push_front(Item{key, std::move(entry), cost});
+  index_[key] = lru_.begin();
+  size_bytes_ += cost;
+  return true;
+}
+
+CacheEntry* LruStore::get(const std::string& key) {
+  const auto it = index_.find(key);
+  if (it == index_.end()) return nullptr;
+  lru_.splice(lru_.begin(), lru_, it->second);  // move to front
+  return &it->second->entry;
+}
+
+const CacheEntry* LruStore::peek(const std::string& key) const {
+  const auto it = index_.find(key);
+  return it == index_.end() ? nullptr : &it->second->entry;
+}
+
+bool LruStore::erase(const std::string& key) {
+  const auto it = index_.find(key);
+  if (it == index_.end()) return false;
+  size_bytes_ -= it->second->cost;
+  lru_.erase(it->second);
+  index_.erase(it);
+  return true;
+}
+
+void LruStore::clear() {
+  lru_.clear();
+  index_.clear();
+  size_bytes_ = 0;
+}
+
+void LruStore::evict_to_fit(ByteCount incoming_cost) {
+  while (!lru_.empty() && size_bytes_ + incoming_cost > capacity_) {
+    const Item& victim = lru_.back();
+    size_bytes_ -= victim.cost;
+    index_.erase(victim.key);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+std::vector<std::string> LruStore::keys_mru_order() const {
+  std::vector<std::string> out;
+  out.reserve(lru_.size());
+  for (const Item& item : lru_) out.push_back(item.key);
+  return out;
+}
+
+}  // namespace catalyst::cache

@@ -1,0 +1,59 @@
+// Keyed LRU store with byte-cost accounting — the storage engine under
+// both the browser HTTP cache and the Service Worker cache.
+#pragma once
+
+#include <list>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "cache/entry.h"
+#include "util/types.h"
+
+namespace catalyst::cache {
+
+class LruStore {
+ public:
+  /// `capacity` in bytes; entries larger than the capacity are rejected.
+  explicit LruStore(ByteCount capacity);
+
+  /// Inserts or replaces; evicts least-recently-used entries to fit.
+  /// Returns false (and stores nothing) when the entry alone exceeds
+  /// capacity.
+  bool put(const std::string& key, CacheEntry entry);
+
+  /// Lookup that refreshes recency. nullptr when absent. The pointer is
+  /// invalidated by any subsequent mutation of the store.
+  CacheEntry* get(const std::string& key);
+
+  /// Lookup without touching recency.
+  const CacheEntry* peek(const std::string& key) const;
+
+  bool erase(const std::string& key);
+  void clear();
+
+  std::size_t entry_count() const { return index_.size(); }
+  ByteCount size_bytes() const { return size_bytes_; }
+  ByteCount capacity() const { return capacity_; }
+  std::size_t evictions() const { return evictions_; }
+
+  /// Keys in most-recently-used order (for inspection/tests).
+  std::vector<std::string> keys_mru_order() const;
+
+ private:
+  struct Item {
+    std::string key;
+    CacheEntry entry;
+    ByteCount cost;
+  };
+
+  void evict_to_fit(ByteCount incoming_cost);
+
+  ByteCount capacity_;
+  ByteCount size_bytes_ = 0;
+  std::size_t evictions_ = 0;
+  std::list<Item> lru_;  // front = most recent
+  std::unordered_map<std::string, std::list<Item>::iterator> index_;
+};
+
+}  // namespace catalyst::cache

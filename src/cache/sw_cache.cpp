@@ -1,0 +1,42 @@
+#include "cache/sw_cache.h"
+
+namespace catalyst::cache {
+
+bool SwCache::put(const std::string& url, http::Response response) {
+  if (response.cache_control().no_store) {
+    ++stats_.rejected_no_store;
+    return false;
+  }
+  if (!response.etag()) return false;
+  CacheEntry entry;
+  entry.response = std::move(response);
+  if (store_.put(url, std::move(entry))) {
+    ++stats_.stores;
+    return true;
+  }
+  return false;
+}
+
+const http::Response* SwCache::match(const std::string& url,
+                                     const http::Etag& expected_etag) {
+  CacheEntry* entry = store_.get(url);
+  if (entry == nullptr) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  const auto stored = entry->etag();
+  if (stored && stored->weak_equals(expected_etag)) {
+    ++stats_.hits;
+    return &entry->response;
+  }
+  ++stats_.etag_mismatches;
+  return nullptr;
+}
+
+std::optional<http::Etag> SwCache::stored_etag(const std::string& url) const {
+  const CacheEntry* entry = store_.peek(url);
+  if (entry == nullptr) return std::nullopt;
+  return entry->etag();
+}
+
+}  // namespace catalyst::cache

@@ -1,0 +1,89 @@
+#include "client/fetcher.h"
+
+namespace catalyst::client {
+
+Fetcher::Fetcher(netsim::Network& network, std::string client_host,
+                 FetcherConfig config)
+    : network_(network),
+      client_host_(std::move(client_host)),
+      config_(config) {}
+
+netsim::Connection& Fetcher::pick_connection(
+    const std::string& origin_host) {
+  auto& pool = pools_[origin_host];
+  const std::size_t limit = config_.protocol == netsim::Protocol::H2
+                                ? 1
+                                : config_.max_connections_per_origin;
+  // Prefer an idle connection; otherwise open a new one while under the
+  // limit; otherwise queue on the least-loaded.
+  netsim::Connection* least_loaded = nullptr;
+  for (auto& conn : pool) {
+    if (conn->pending() == 0) return *conn;
+    if (least_loaded == nullptr ||
+        conn->pending() < least_loaded->pending()) {
+      least_loaded = conn.get();
+    }
+  }
+  if (pool.size() < limit) {
+    // Only the first-ever connection to an origin resolves DNS; later
+    // ones (and later visits within the session) use the resolver cache.
+    const bool resolve_dns = dns_resolved_.insert(origin_host).second;
+    pool.push_back(std::make_unique<netsim::Connection>(
+        network_, client_host_, origin_host, config_.tls,
+        config_.protocol, resolve_dns));
+    return *pool.back();
+  }
+  return *least_loaded;
+}
+
+void Fetcher::fetch(const std::string& origin_host, http::Request request,
+                    ResponseCallback on_response) {
+  netsim::Connection& conn = pick_connection(origin_host);
+  netsim::Connection::PushCallback push_cb;
+  if (push_handler_) {
+    push_cb = [this, origin_host](netsim::PushedResponse push) {
+      if (push_handler_) push_handler_(origin_host, std::move(push));
+    };
+  }
+  netsim::Connection::PromiseCallback promise_cb;
+  if (promise_handler_) {
+    promise_cb = [this, origin_host](const std::string& target) {
+      if (promise_handler_) promise_handler_(origin_host, target);
+    };
+  }
+  netsim::Connection::HintsCallback hints_cb;
+  if (hints_handler_) {
+    hints_cb = [this, origin_host](const std::vector<std::string>& urls) {
+      if (hints_handler_) hints_handler_(origin_host, urls);
+    };
+  }
+  conn.send_request(std::move(request), std::move(on_response),
+                    std::move(push_cb), std::move(promise_cb),
+                    std::move(hints_cb));
+}
+
+void Fetcher::close_all() { pools_.clear(); }
+
+int Fetcher::total_rtts() const {
+  int total = 0;
+  for (const auto& [host, pool] : pools_) {
+    for (const auto& conn : pool) total += conn->rtts_consumed();
+  }
+  return total;
+}
+
+ByteCount Fetcher::total_bytes_received() const {
+  ByteCount total = 0;
+  for (const auto& [host, pool] : pools_) {
+    for (const auto& conn : pool) total += conn->bytes_received();
+  }
+  return total;
+}
+
+std::size_t Fetcher::connection_count() const {
+  std::size_t total = 0;
+  for (const auto& [host, pool] : pools_) total += pool.size();
+  return total;
+}
+
+}  // namespace catalyst::client

@@ -1,0 +1,47 @@
+#include "client/service_worker.h"
+
+#include "http/headers.h"
+
+namespace catalyst::client {
+
+void CatalystServiceWorker::install_map_from(
+    const http::Response& navigation_response) {
+  const auto header =
+      navigation_response.headers.get(http::kXEtagConfig);
+  if (!header) return;
+  auto parsed = http::EtagConfig::parse(*header);
+  if (!parsed) return;  // malformed map: keep forwarding, never break pages
+  map_ = std::move(*parsed);
+  ++stats_.maps_installed;
+}
+
+CatalystServiceWorker::InterceptResult CatalystServiceWorker::try_serve(
+    const std::string& path) {
+  ++stats_.intercepted;
+  if (!map_) {
+    ++stats_.forwarded;
+    return {Decision::ForwardDefault, nullptr};
+  }
+  const auto expected = map_->find(path);
+  if (!expected) {
+    ++stats_.forwarded;
+    return {Decision::ForwardDefault, nullptr};
+  }
+  const http::Response* cached = cache_.match(path, *expected);
+  if (cached == nullptr) {
+    // Covered but changed (or never cached): the map is authoritative
+    // that our copy is unusable.
+    ++stats_.forwarded;
+    return {Decision::ForwardRevalidate, nullptr};
+  }
+  ++stats_.served_from_cache;
+  return {Decision::ServeFromCache, cached};
+}
+
+void CatalystServiceWorker::observe_response(
+    const std::string& path, const http::Response& response) {
+  if (response.status != http::Status::Ok) return;
+  cache_.put(path, response);
+}
+
+}  // namespace catalyst::client

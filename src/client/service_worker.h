@@ -1,0 +1,91 @@
+// The CacheCatalyst Service Worker (paper §3, client side).
+//
+// A domain-scoped interception layer: once registered (by the snippet the
+// server injects), it sees every request for its origin. On each base-HTML
+// response it ingests the fresh X-Etag-Config map; for subresources it
+// compares the map's ETag with its cached copy's ETag and either serves
+// the cached bytes immediately (zero RTTs) or forwards the request and
+// re-caches the new version.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "cache/sw_cache.h"
+#include "http/etag_config.h"
+#include "http/message.h"
+
+namespace catalyst::client {
+
+struct ServiceWorkerStats {
+  std::uint64_t intercepted = 0;
+  std::uint64_t served_from_cache = 0;
+  std::uint64_t forwarded = 0;
+  std::uint64_t maps_installed = 0;
+};
+
+class CatalystServiceWorker {
+ public:
+  explicit CatalystServiceWorker(ByteCount cache_capacity = MiB(256))
+      : cache_(cache_capacity) {}
+
+  /// Registration lifecycle: the browser registers the worker after the
+  /// first visit delivers the registration snippet + SW script.
+  bool registered() const { return registered_; }
+  void set_registered() { registered_ = true; }
+  void unregister() {
+    registered_ = false;
+    map_.reset();
+  }
+
+  /// Ingests the X-Etag-Config header from a base-HTML response (200 or
+  /// 304). Replaces any previous map — tokens are only trusted for the
+  /// page load they arrived with.
+  void install_map_from(const http::Response& navigation_response);
+
+  /// The currently installed map, if any.
+  const http::EtagConfig* current_map() const {
+    return map_ ? &*map_ : nullptr;
+  }
+
+  /// Interception decision for a subresource request.
+  enum class Decision {
+    /// The map vouches for the cached copy: serve it, zero RTTs.
+    ServeFromCache,
+    /// The map covers the path but the cached copy is absent or outdated:
+    /// the resource changed on the origin, so the fetch must revalidate /
+    /// download — the HTTP cache's TTL opinion must NOT be trusted.
+    ForwardRevalidate,
+    /// Not covered by the map (JS-discovered, cross-origin, or no map):
+    /// CacheCatalyst has no authority here; plain fetch() semantics (the
+    /// status-quo HTTP cache decides).
+    ForwardDefault,
+  };
+
+  struct InterceptResult {
+    Decision decision = Decision::ForwardDefault;
+    /// Set for ServeFromCache; owned by the SW cache and invalidated by
+    /// subsequent stores.
+    const http::Response* response = nullptr;
+  };
+
+  InterceptResult try_serve(const std::string& path);
+
+  /// Stores a network response passing through the worker (honors
+  /// no-store; requires an ETag to be useful — both checked by SwCache).
+  void observe_response(const std::string& path,
+                        const http::Response& response);
+
+  const cache::SwCache& cache() const { return cache_; }
+  cache::SwCache& cache() { return cache_; }
+  const ServiceWorkerStats& stats() const { return stats_; }
+
+ private:
+  bool registered_ = false;
+  std::optional<http::EtagConfig> map_;
+  cache::SwCache cache_;
+  ServiceWorkerStats stats_;
+};
+
+}  // namespace catalyst::client

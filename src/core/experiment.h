@@ -1,0 +1,59 @@
+// Visit sequencing and aggregation — the paper's measurement protocol:
+// load each page cold, advance the clock by a revisit delay (1 min, 1 h,
+// 6 h, 1 d, 1 w), reload, and compare PLTs across strategies under a grid
+// of network conditions.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "client/metrics.h"
+#include "core/testbed.h"
+#include "util/stats.h"
+
+namespace catalyst::core {
+
+/// The revisit delays of §4.
+std::vector<Duration> paper_revisit_delays();
+
+/// Runs one page visit at absolute simulation time `at` (the loop is
+/// advanced there first) and drains all follow-up work (SW registration).
+client::PageLoadResult run_visit(Testbed& testbed, TimePoint at);
+
+struct RevisitOutcome {
+  client::PageLoadResult cold;
+  client::PageLoadResult revisit;
+};
+
+/// Cold visit at t=0, revisit after `delay`, in one testbed (caches and
+/// Service Worker state persist across the pair; connections do not).
+RevisitOutcome run_revisit_pair(std::shared_ptr<server::Site> site,
+                                const netsim::NetworkConditions& conditions,
+                                StrategyKind kind, Duration delay,
+                                const StrategyOptions& options = {});
+
+/// Multi-origin variant (third-party resources live on their own hosts).
+RevisitOutcome run_revisit_pair(const workload::SiteBundle& bundle,
+                                const netsim::NetworkConditions& conditions,
+                                StrategyKind kind, Duration delay,
+                                const StrategyOptions& options = {});
+
+/// A whole visit schedule (cold + one revisit per delay, cumulative cache
+/// state) in one testbed. Returns cold result first, then one per delay.
+std::vector<client::PageLoadResult> run_visit_sequence(
+    std::shared_ptr<server::Site> site,
+    const netsim::NetworkConditions& conditions, StrategyKind kind,
+    const std::vector<Duration>& delays,
+    const StrategyOptions& options = {});
+
+/// PLT-reduction study: for each site and delay, measures
+///   100 * (PLT_base - PLT_treatment) / PLT_base
+/// on the revisit, and accumulates the percentages. This is the quantity
+/// Figure 3 plots per network condition.
+Summary plt_reduction_summary(
+    const std::vector<std::shared_ptr<server::Site>>& sites,
+    const netsim::NetworkConditions& conditions, StrategyKind treatment,
+    StrategyKind baseline, const std::vector<Duration>& delays,
+    const StrategyOptions& options = {});
+
+}  // namespace catalyst::core

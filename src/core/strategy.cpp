@@ -1,0 +1,29 @@
+#include "core/strategy.h"
+
+namespace catalyst::core {
+
+std::string_view to_string(StrategyKind kind) {
+  switch (kind) {
+    case StrategyKind::Baseline:
+      return "baseline";
+    case StrategyKind::Catalyst:
+      return "catalyst";
+    case StrategyKind::CatalystLearned:
+      return "catalyst+learn";
+    case StrategyKind::PushAll:
+      return "push-all";
+    case StrategyKind::PushLearned:
+      return "push-learned";
+    case StrategyKind::PushDigest:
+      return "push-digest";
+    case StrategyKind::EarlyHints:
+      return "early-hints";
+    case StrategyKind::RdrProxy:
+      return "rdr-proxy";
+    case StrategyKind::Oracle:
+      return "oracle";
+  }
+  return "?";
+}
+
+}  // namespace catalyst::core

@@ -1,0 +1,79 @@
+// The strategies compared in the evaluation: the paper's CacheCatalyst,
+// the status quo, and the related-work baselines of §5.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "netsim/transport.h"
+#include "util/types.h"
+
+namespace catalyst::core {
+
+enum class StrategyKind {
+  /// Status-quo HTTP caching: max-age / no-cache / no-store honored,
+  /// conditional GETs for stale entries.
+  Baseline,
+  /// CacheCatalyst: X-Etag-Config map + Service Worker (static + CSS
+  /// closure coverage — the paper's implemented scope).
+  Catalyst,
+  /// CacheCatalyst + session learning (paper §6 extension: covers
+  /// JS-discovered resources on revisits).
+  CatalystLearned,
+  /// HTTP/2 Server Push, push-everything policy.
+  PushAll,
+  /// HTTP/2 Server Push, push what this session fetched last visit.
+  PushLearned,
+  /// HTTP/2 Server Push guided by a client Cache-Digest (bloom filter of
+  /// cached paths) — the Cache-Digest proposal this paper's idea refines.
+  PushDigest,
+  /// 103 Early Hints: the server announces the static link closure ahead
+  /// of the HTML body; the client preloads through its normal cache
+  /// semantics (the deployed alternative to both push and catalyst).
+  EarlyHints,
+  /// Remote dependency resolution proxy (Parcel/Nutshell-style).
+  RdrProxy,
+  /// Perfect-knowledge lower bound: zero-cost validation of every cached
+  /// entry.
+  Oracle,
+};
+
+std::string_view to_string(StrategyKind kind);
+
+struct StrategyOptions {
+  /// Model TCP slow-start ramp-up (ablation; default off).
+  bool slow_start = false;
+
+  /// RTT between the RDR proxy and origins (proxies sit in well-peered
+  /// clouds near the servers).
+  Duration rdr_origin_rtt = milliseconds(6);
+
+  /// Disable the CSS closure in the catalyst map (ablation: HTML-only
+  /// scan, stylesheets' fonts/images left uncovered).
+  bool catalyst_css_closure = true;
+
+  /// Disable server-side scan memoization (ablation: pay the DOM scan on
+  /// every serve).
+  bool catalyst_memoize = true;
+
+  /// Origin request-processing delay.
+  Duration server_processing_delay = microseconds(500);
+
+  /// Override the browser's transport (e.g. run baseline/catalyst over
+  /// HTTP/2 multiplexing instead of 6 × HTTP/1.1). Push strategies ignore
+  /// this (they require H2).
+  std::optional<netsim::Protocol> browser_protocol;
+
+  /// Model a mobile-class client: slower parse/execute (the paper's
+  /// motivating environment).
+  bool mobile_client = false;
+
+  /// DNS lookup delay paid on the first connection to each origin.
+  Duration dns_lookup = Duration::zero();
+
+  /// Third-party origins sit this factor closer than the main origin
+  /// (multi-origin testbeds only).
+  double third_party_rtt_scale = 0.6;
+};
+
+}  // namespace catalyst::core

@@ -1,0 +1,164 @@
+#include "core/testbed.h"
+
+namespace catalyst::core {
+
+Testbed make_testbed(std::shared_ptr<server::Site> site,
+                     const netsim::NetworkConditions& conditions,
+                     StrategyKind kind, const StrategyOptions& options) {
+  Testbed tb;
+  tb.kind = kind;
+  tb.conditions = conditions;
+  tb.site = std::move(site);
+  tb.loop = std::make_unique<netsim::EventLoop>();
+  tb.network = std::make_unique<netsim::Network>(*tb.loop);
+  tb.network->set_model_slow_start(options.slow_start);
+  tb.network->set_dns_lookup(options.dns_lookup);
+
+  // Topology: throttled client access link; well-provisioned origin.
+  netsim::HostSpec client_spec;
+  client_spec.uplink = conditions.uplink;
+  client_spec.downlink = conditions.downlink;
+  tb.network->add_host("client", client_spec);
+  tb.network->add_host(tb.site->host());  // default: 1 Gbps
+  tb.network->set_rtt("client", tb.site->host(), conditions.rtt);
+
+  // Origin server configuration by strategy.
+  server::ServerConfig sc;
+  sc.processing_delay = options.server_processing_delay;
+  switch (kind) {
+    case StrategyKind::Baseline:
+    case StrategyKind::Oracle:
+    case StrategyKind::RdrProxy:
+      break;
+    case StrategyKind::Catalyst:
+      sc.enable_catalyst = true;
+      break;
+    case StrategyKind::CatalystLearned:
+      sc.enable_catalyst = true;
+      sc.catalyst.session_learning = true;
+      sc.track_sessions = true;
+      break;
+    case StrategyKind::PushAll:
+      sc.push_policy = server::PushPolicy::All;
+      break;
+    case StrategyKind::PushLearned:
+      sc.push_policy = server::PushPolicy::Learned;
+      sc.track_sessions = true;
+      break;
+    case StrategyKind::PushDigest:
+      sc.push_policy = server::PushPolicy::Digest;
+      break;
+    case StrategyKind::EarlyHints:
+      sc.early_hints = true;
+      break;
+  }
+  sc.catalyst.css_closure = options.catalyst_css_closure;
+  sc.catalyst.memoize_scans = options.catalyst_memoize;
+  tb.origin = std::make_unique<server::Server>(*tb.network, tb.site, sc);
+
+  // Browser configuration.
+  client::BrowserConfig bc;
+  bc.client_host = "client";
+  bc.browser_id = "user-1";
+  bc.service_workers_enabled = (kind == StrategyKind::Catalyst ||
+                                kind == StrategyKind::CatalystLearned);
+  if (kind == StrategyKind::PushAll || kind == StrategyKind::PushLearned ||
+      kind == StrategyKind::PushDigest) {
+    bc.fetcher.protocol = netsim::Protocol::H2;
+    bc.send_cache_digest = (kind == StrategyKind::PushDigest);
+  } else if (options.browser_protocol) {
+    bc.fetcher.protocol = *options.browser_protocol;
+  }
+  if (options.mobile_client) {
+    bc.processing = client::ProcessingModel::mobile();
+  }
+  tb.browser = std::make_unique<client::Browser>(*tb.network, bc);
+
+  // Measurement-only staleness audit: flags cache-served bytes that no
+  // longer match the origin. Never changes behaviour.
+  {
+    auto site_ref = tb.site;
+    netsim::EventLoop* loop = tb.loop.get();
+    tb.browser->set_staleness_audit(
+        [site_ref, loop](const Url& url, const http::Etag& etag) {
+          if (url.host != site_ref->host()) return true;  // unauditable
+          const server::Resource* r = site_ref->find(url.path);
+          return r == nullptr ||
+                 r->etag_at(loop->now()).weak_equals(etag);
+        });
+  }
+
+  tb.page_url.scheme = "https";
+  tb.page_url.host = tb.site->host();
+  tb.page_url.path = tb.site->index_path();
+  tb.fetch_url = tb.page_url;
+
+  if (kind == StrategyKind::Oracle) {
+    // Perfect validation: compares the cached ETag against the origin's
+    // current one with zero network cost.
+    auto site_ref = tb.site;
+    netsim::EventLoop* loop = tb.loop.get();
+    tb.browser->set_oracle(
+        [site_ref, loop](const Url& url, const http::Etag& cached) {
+          const server::Resource* r = site_ref->find(url.path);
+          return r != nullptr &&
+                 r->etag_at(loop->now()).weak_equals(cached);
+        });
+  }
+
+  if (kind == StrategyKind::RdrProxy) {
+    RdrProxyConfig pc;
+    tb.network->add_host(pc.proxy_host);
+    tb.network->set_rtt("client", pc.proxy_host, conditions.rtt);
+    tb.network->set_rtt(pc.proxy_host, tb.site->host(),
+                        options.rdr_origin_rtt);
+    tb.proxy = std::make_unique<RdrProxy>(*tb.network, tb.site, pc);
+    tb.fetch_url.host = pc.proxy_host;
+    tb.fetch_url.path = tb.site->index_path();
+  }
+
+  return tb;
+}
+
+Testbed make_testbed(const workload::SiteBundle& bundle,
+                     const netsim::NetworkConditions& conditions,
+                     StrategyKind kind, const StrategyOptions& options) {
+  Testbed tb = make_testbed(bundle.main, conditions, kind, options);
+  const Duration tp_rtt = seconds_f(
+      to_seconds(conditions.rtt) * options.third_party_rtt_scale);
+  for (const auto& tp : bundle.third_party) {
+    tb.network->add_host(tp->host());
+    tb.network->set_rtt("client", tp->host(), tp_rtt);
+    if (tb.proxy) {
+      tb.network->set_rtt("rdr.proxy", tp->host(),
+                          options.rdr_origin_rtt);
+    }
+    // Third-party origins run stock servers: no catalyst, no push — the
+    // main server has no authority over them (paper §6).
+    server::ServerConfig sc;
+    sc.processing_delay = options.server_processing_delay;
+    tb.third_party_servers.push_back(
+        std::make_unique<server::Server>(*tb.network, tp, sc));
+    tb.third_party_sites.push_back(tp);
+  }
+
+  // Extend the staleness audit across all origins in the bundle.
+  {
+    std::map<std::string, std::shared_ptr<server::Site>> by_host;
+    by_host[bundle.main->host()] = bundle.main;
+    for (const auto& tp : bundle.third_party) by_host[tp->host()] = tp;
+    netsim::EventLoop* loop = tb.loop.get();
+    tb.browser->set_staleness_audit(
+        [by_host = std::move(by_host), loop](const Url& url,
+                                             const http::Etag& etag) {
+          const auto it = by_host.find(url.host);
+          if (it == by_host.end()) return true;
+          const server::Resource* r = it->second->find(url.path);
+          return r == nullptr ||
+                 r->etag_at(loop->now()).weak_equals(etag);
+        });
+  }
+  return tb;
+}
+
+}  // namespace catalyst::core

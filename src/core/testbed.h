@@ -1,0 +1,49 @@
+// Testbed assembly: network topology + origin server + browser wired for
+// one (site, network conditions, strategy) combination.
+#pragma once
+
+#include <memory>
+
+#include "client/browser.h"
+#include "core/rdr_proxy.h"
+#include "core/strategy.h"
+#include "netsim/conditions.h"
+#include "netsim/event_loop.h"
+#include "netsim/network.h"
+#include "server/server.h"
+#include "workload/sitegen.h"
+
+namespace catalyst::core {
+
+struct Testbed {
+  std::unique_ptr<netsim::EventLoop> loop;
+  std::unique_ptr<netsim::Network> network;
+  std::shared_ptr<server::Site> site;
+  std::unique_ptr<server::Server> origin;
+  std::unique_ptr<RdrProxy> proxy;  // RdrProxy strategy only
+  // Third-party origins (multi-origin bundles only).
+  std::vector<std::shared_ptr<server::Site>> third_party_sites;
+  std::vector<std::unique_ptr<server::Server>> third_party_servers;
+  std::unique_ptr<client::Browser> browser;
+  Url page_url;   // what the user "types": the origin page
+  Url fetch_url;  // what the browser actually fetches (proxy for RDR)
+  StrategyKind kind = StrategyKind::Baseline;
+  netsim::NetworkConditions conditions;
+};
+
+/// Builds a ready-to-run testbed. The Site is shared (its change timeline
+/// must be identical across the strategies being compared).
+Testbed make_testbed(std::shared_ptr<server::Site> site,
+                     const netsim::NetworkConditions& conditions,
+                     StrategyKind kind,
+                     const StrategyOptions& options = {});
+
+/// Multi-origin variant: also brings up plain origin servers for every
+/// third-party site, reachable at `options.third_party_rtt_scale` × the
+/// client-origin RTT (CDNs peer closer than the main origin).
+Testbed make_testbed(const workload::SiteBundle& bundle,
+                     const netsim::NetworkConditions& conditions,
+                     StrategyKind kind,
+                     const StrategyOptions& options = {});
+
+}  // namespace catalyst::core

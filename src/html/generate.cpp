@@ -1,0 +1,163 @@
+#include "html/generate.h"
+
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace catalyst::html {
+
+namespace {
+
+constexpr std::string_view kWords[] = {
+    "network", "latency",  "cache",   "resource", "browser", "server",
+    "request", "response", "page",    "load",     "token",   "etag",
+    "bytes",   "transfer", "round",   "trip",     "origin",  "header",
+    "content", "version",  "fresh",   "stale",    "fetch",   "worker",
+};
+
+}  // namespace
+
+std::string filler_text(ByteCount bytes, std::uint64_t seed) {
+  Rng rng(seed);
+  std::string out;
+  out.reserve(bytes + 16);
+  while (out.size() < bytes) {
+    const auto& word =
+        kWords[static_cast<std::size_t>(rng.uniform_int(0, 23))];
+    out.append(word);
+    out.push_back(' ');
+  }
+  out.resize(bytes);
+  return out;
+}
+
+HtmlBuilder::HtmlBuilder(std::string title) : title_(std::move(title)) {}
+
+HtmlBuilder& HtmlBuilder::add_stylesheet(std::string_view url) {
+  head_ += str_format("<link rel=\"stylesheet\" href=\"%.*s\">\n",
+                      static_cast<int>(url.size()), url.data());
+  return *this;
+}
+
+HtmlBuilder& HtmlBuilder::add_script(std::string_view url, bool deferred) {
+  body_ += str_format("<script src=\"%.*s\"%s></script>\n",
+                      static_cast<int>(url.size()), url.data(),
+                      deferred ? " defer" : "");
+  return *this;
+}
+
+HtmlBuilder& HtmlBuilder::add_preload(std::string_view url,
+                                      std::string_view as_type) {
+  head_ += str_format("<link rel=\"preload\" as=\"%.*s\" href=\"%.*s\">\n",
+                      static_cast<int>(as_type.size()), as_type.data(),
+                      static_cast<int>(url.size()), url.data());
+  return *this;
+}
+
+HtmlBuilder& HtmlBuilder::add_inline_style(std::string_view css) {
+  head_ += "<style>\n";
+  head_ += css;
+  head_ += "\n</style>\n";
+  return *this;
+}
+
+HtmlBuilder& HtmlBuilder::add_inline_script(std::string_view js) {
+  body_ += "<script>\n";
+  body_ += js;
+  body_ += "\n</script>\n";
+  return *this;
+}
+
+HtmlBuilder& HtmlBuilder::add_image(std::string_view url,
+                                    std::string_view alt) {
+  body_ += str_format("<img src=\"%.*s\" alt=\"%.*s\">\n",
+                      static_cast<int>(url.size()), url.data(),
+                      static_cast<int>(alt.size()), alt.data());
+  return *this;
+}
+
+HtmlBuilder& HtmlBuilder::add_paragraph(std::string_view text) {
+  body_ += "<p>";
+  body_ += text;
+  body_ += "</p>\n";
+  return *this;
+}
+
+HtmlBuilder& HtmlBuilder::add_comment(std::string_view text) {
+  body_ += "<!-- ";
+  body_ += text;
+  body_ += " -->\n";
+  return *this;
+}
+
+HtmlBuilder& HtmlBuilder::pad_to(ByteCount total_bytes, std::uint64_t seed) {
+  const std::string current = build();
+  if (current.size() >= total_bytes) return *this;
+  const ByteCount missing = total_bytes - current.size() - 9;  // <p></p>\n…
+  if (missing > 0 && missing < total_bytes) {
+    add_paragraph(filler_text(missing, seed));
+  }
+  return *this;
+}
+
+std::string HtmlBuilder::build() const {
+  std::string out = "<!DOCTYPE html>\n<html>\n<head>\n";
+  out += "<title>" + title_ + "</title>\n";
+  out += head_;
+  out += "</head>\n<body>\n";
+  out += body_;
+  out += "</body>\n</html>\n";
+  return out;
+}
+
+std::string make_css(const std::vector<std::string>& image_urls,
+                     const std::vector<std::string>& font_urls,
+                     const std::vector<std::string>& imports,
+                     ByteCount total_bytes, std::uint64_t seed) {
+  std::string out;
+  for (const std::string& import_url : imports) {
+    out += "@import url(\"" + import_url + "\");\n";
+  }
+  std::size_t i = 0;
+  for (const std::string& font : font_urls) {
+    out += str_format(
+        "@font-face { font-family: f%zu; src: url(\"%s\"); }\n", i++,
+        font.c_str());
+  }
+  i = 0;
+  for (const std::string& img : image_urls) {
+    out += str_format(".bg%zu { background-image: url(\"%s\"); }\n", i++,
+                      img.c_str());
+  }
+  // Pad with generated rules.
+  Rng rng(seed);
+  while (out.size() < total_bytes) {
+    out += str_format(".c%llu { margin: %lldpx; color: #%06llx; }\n",
+                      static_cast<unsigned long long>(rng.next_u64() & 0xFFFF),
+                      static_cast<long long>(rng.uniform_int(0, 64)),
+                      static_cast<unsigned long long>(rng.next_u64() &
+                                                      0xFFFFFF));
+  }
+  out.resize(total_bytes);
+  return out;
+}
+
+std::string make_js(const std::vector<std::string>& fetch_urls,
+                    ByteCount total_bytes, std::uint64_t seed) {
+  std::string out = "\"use strict\";\n";
+  for (const std::string& url : fetch_urls) {
+    // The directive both documents intent and drives the simulation.
+    out += "/* @fetch " + url + " */ fetch(\"" + url + "\");\n";
+  }
+  Rng rng(seed);
+  while (out.size() < total_bytes) {
+    out += str_format("function f%llu(x) { return x * %lld + %lld; }\n",
+                      static_cast<unsigned long long>(rng.next_u64() &
+                                                      0xFFFFF),
+                      static_cast<long long>(rng.uniform_int(1, 97)),
+                      static_cast<long long>(rng.uniform_int(0, 255)));
+  }
+  out.resize(total_bytes);
+  return out;
+}
+
+}  // namespace catalyst::html

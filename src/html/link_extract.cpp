@@ -1,0 +1,115 @@
+#include "html/link_extract.h"
+
+#include "html/css.h"
+#include "util/strings.h"
+
+namespace catalyst::html {
+
+namespace {
+
+http::ResourceClass preload_class(std::string_view as_value) {
+  if (iequals(as_value, "style")) return http::ResourceClass::Css;
+  if (iequals(as_value, "script")) return http::ResourceClass::Script;
+  if (iequals(as_value, "image")) return http::ResourceClass::Image;
+  if (iequals(as_value, "font")) return http::ResourceClass::Font;
+  if (iequals(as_value, "fetch")) return http::ResourceClass::Json;
+  return http::ResourceClass::Other;
+}
+
+void add(std::vector<DiscoveredResource>& out, std::string url,
+         http::ResourceClass rc, bool parser_blocking,
+         bool render_blocking) {
+  if (url.empty() || istarts_with(url, "data:") ||
+      istarts_with(url, "javascript:")) {
+    return;
+  }
+  out.push_back(DiscoveredResource{std::move(url), rc, parser_blocking,
+                                   render_blocking});
+}
+
+}  // namespace
+
+std::vector<DiscoveredResource> extract_resources(const Node& document) {
+  std::vector<DiscoveredResource> out;
+  document.for_each_element([&out](const Node& el) {
+    const std::string& tag = el.data();
+    if (tag == "link") {
+      const auto rel = el.attr("rel");
+      const auto href = el.attr("href");
+      if (!rel || !href) return;
+      if (iequals(*rel, "stylesheet")) {
+        add(out, std::string(*href), http::ResourceClass::Css,
+            /*parser_blocking=*/false, /*render_blocking=*/true);
+      } else if (iequals(*rel, "preload")) {
+        const auto as_value = el.attr("as").value_or("");
+        const auto rc = preload_class(as_value);
+        add(out, std::string(*href), rc, false,
+            rc == http::ResourceClass::Css);
+      } else if (iequals(*rel, "icon") ||
+                 iequals(*rel, "shortcut icon")) {
+        add(out, std::string(*href), http::ResourceClass::Image, false,
+            false);
+      }
+    } else if (tag == "script") {
+      if (const auto src = el.attr("src")) {
+        const bool deferred =
+            el.has_attr("async") || el.has_attr("defer") ||
+            iequals(el.attr("type").value_or(""), "module");
+        add(out, std::string(*src), http::ResourceClass::Script,
+            /*parser_blocking=*/!deferred, /*render_blocking=*/false);
+      }
+    } else if (tag == "img") {
+      if (const auto src = el.attr("src")) {
+        add(out, std::string(*src), http::ResourceClass::Image, false,
+            false);
+      }
+    } else if (tag == "source") {
+      if (const auto src = el.attr("src")) {
+        add(out, std::string(*src), http::ResourceClass::Image, false,
+            false);
+      } else if (const auto srcset = el.attr("srcset")) {
+        // First candidate of the srcset.
+        const auto comma = srcset->find(',');
+        std::string_view first =
+            comma == std::string_view::npos ? *srcset
+                                            : srcset->substr(0, comma);
+        first = trim(first);
+        if (const auto space = first.find(' ');
+            space != std::string_view::npos) {
+          first = first.substr(0, space);
+        }
+        add(out, std::string(first), http::ResourceClass::Image, false,
+            false);
+      }
+    } else if (tag == "style") {
+      for (CssReference& ref :
+           extract_css_references(el.text_content())) {
+        add(out, std::move(ref.url),
+            ref.is_import ? http::ResourceClass::Css
+                          : http::ResourceClass::Image,
+            false, ref.is_import);
+      }
+    }
+  });
+  return out;
+}
+
+std::vector<std::string> extract_js_fetches(std::string_view script_text) {
+  std::vector<std::string> out;
+  static constexpr std::string_view kDirective = "@fetch ";
+  std::size_t pos = 0;
+  while ((pos = script_text.find(kDirective, pos)) !=
+         std::string_view::npos) {
+    pos += kDirective.size();
+    const std::size_t start = pos;
+    while (pos < script_text.size() && !ascii_isspace(script_text[pos]) &&
+           script_text[pos] != '*' && script_text[pos] != ';') {
+      ++pos;
+    }
+    std::string url(script_text.substr(start, pos - start));
+    if (!url.empty()) out.push_back(std::move(url));
+  }
+  return out;
+}
+
+}  // namespace catalyst::html

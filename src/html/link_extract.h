@@ -1,0 +1,46 @@
+// Subresource discovery from a parsed document — the heart of both the
+// CacheCatalyst server module (which needs every same-origin link for the
+// ETag map) and the browser's dependency resolution.
+//
+// JavaScript cannot be executed; like the paper (§3) we treat statically
+// declared resources as the deterministic set, and model JS-driven fetches
+// with an explicit directive convention (`@fetch <url>` in script text)
+// that the workload generator emits and the browser "executes".
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "html/dom.h"
+#include "http/mime.h"
+
+namespace catalyst::html {
+
+struct DiscoveredResource {
+  std::string url;  // as written in the document (may be relative)
+  http::ResourceClass resource_class = http::ResourceClass::Other;
+
+  /// Blocks HTML parsing (classic <script src> without async/defer) —
+  /// later discoveries wait for it.
+  bool parser_blocking = false;
+
+  /// Render-blocking (stylesheets): onload waits, and script execution
+  /// waits for pending stylesheets.
+  bool render_blocking = false;
+
+  bool operator==(const DiscoveredResource&) const = default;
+};
+
+/// Walks the document and returns subresources in document order:
+/// stylesheets (<link rel=stylesheet>), scripts (<script src>), images
+/// (<img src>, <source src/srcset first candidate>), fonts & other
+/// preloads (<link rel=preload as=...>), plus url() references inside
+/// <style> blocks. Anchors (<a href>) are navigation, not subresources.
+std::vector<DiscoveredResource> extract_resources(const Node& document);
+
+/// Scans script text for `@fetch <url>` directives — the simulation's
+/// stand-in for fetches issued during JS execution.
+std::vector<std::string> extract_js_fetches(std::string_view script_text);
+
+}  // namespace catalyst::html

@@ -1,0 +1,65 @@
+#include "html/parser.h"
+
+#include <vector>
+
+namespace catalyst::html {
+
+namespace {
+
+bool is_void_element(std::string_view tag) {
+  return tag == "area" || tag == "base" || tag == "br" || tag == "col" ||
+         tag == "embed" || tag == "hr" || tag == "img" || tag == "input" ||
+         tag == "link" || tag == "meta" || tag == "source" ||
+         tag == "track" || tag == "wbr";
+}
+
+}  // namespace
+
+std::unique_ptr<Node> parse(std::string_view input) {
+  auto doc = Node::document();
+  std::vector<Node*> stack{doc.get()};
+
+  Tokenizer tokenizer(input);
+  while (true) {
+    Token token = tokenizer.next();
+    if (token.type == Token::Type::Eof) break;
+    Node* parent = stack.back();
+    switch (token.type) {
+      case Token::Type::Text: {
+        if (!token.data.empty()) {
+          parent->append_child(Node::text(std::move(token.data)));
+        }
+        break;
+      }
+      case Token::Type::Comment:
+        parent->append_child(Node::comment(std::move(token.data)));
+        break;
+      case Token::Type::Doctype:
+        break;  // not represented in the tree
+      case Token::Type::StartTag: {
+        const bool leaf = token.self_closing || is_void_element(token.data);
+        auto element =
+            Node::element(token.data, std::move(token.attributes));
+        Node* raw = element.get();
+        parent->append_child(std::move(element));
+        if (!leaf) stack.push_back(raw);
+        break;
+      }
+      case Token::Type::EndTag: {
+        // Pop to the nearest matching open element, if any.
+        for (std::size_t i = stack.size(); i-- > 1;) {
+          if (stack[i]->is_element(token.data)) {
+            stack.resize(i);
+            break;
+          }
+        }
+        break;
+      }
+      case Token::Type::Eof:
+        break;
+    }
+  }
+  return doc;
+}
+
+}  // namespace catalyst::html

@@ -1,0 +1,19 @@
+// Tokenizer → DOM tree construction (simplified tree builder).
+//
+// Stack-based with void-element handling; mismatched end tags pop to the
+// nearest matching open element (good enough for the well-formed-ish HTML
+// that both the synthetic workload and real homepages produce).
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "html/dom.h"
+
+namespace catalyst::html {
+
+/// Parses HTML text into a document tree. Never fails: malformed input
+/// degrades to a best-effort tree (like browsers, we do not reject pages).
+std::unique_ptr<Node> parse(std::string_view input);
+
+}  // namespace catalyst::html

@@ -1,0 +1,191 @@
+#include "html/tokenizer.h"
+
+#include "util/strings.h"
+
+namespace catalyst::html {
+
+namespace {
+
+bool is_raw_text_element(std::string_view tag) {
+  return tag == "script" || tag == "style";
+}
+
+bool is_tag_name_char(char c) {
+  return ascii_isalpha(c) || ascii_isdigit(c) || c == '-' || c == ':';
+}
+
+}  // namespace
+
+Token Tokenizer::next() {
+  if (!raw_text_end_tag_.empty()) return lex_raw_text();
+  if (pos_ >= input_.size()) return Token{};
+
+  if (input_[pos_] == '<') {
+    if (input_.substr(pos_, 4) == "<!--") return lex_comment();
+    if (input_.substr(pos_, 2) == "<!") return lex_doctype();
+    if (pos_ + 1 < input_.size() &&
+        (ascii_isalpha(input_[pos_ + 1]) || input_[pos_ + 1] == '/')) {
+      return lex_tag();
+    }
+    // A stray '<' is text.
+  }
+
+  // Text until the next plausible tag opener.
+  const std::size_t start = pos_;
+  ++pos_;
+  while (pos_ < input_.size()) {
+    if (input_[pos_] == '<' && pos_ + 1 < input_.size() &&
+        (ascii_isalpha(input_[pos_ + 1]) || input_[pos_ + 1] == '/' ||
+         input_[pos_ + 1] == '!')) {
+      break;
+    }
+    ++pos_;
+  }
+  Token token;
+  token.type = Token::Type::Text;
+  token.data = std::string(input_.substr(start, pos_ - start));
+  return token;
+}
+
+Token Tokenizer::lex_tag() {
+  Token token;
+  ++pos_;  // consume '<'
+  bool closing = false;
+  if (pos_ < input_.size() && input_[pos_] == '/') {
+    closing = true;
+    ++pos_;
+  }
+  const std::size_t name_start = pos_;
+  while (pos_ < input_.size() && is_tag_name_char(input_[pos_])) ++pos_;
+  token.data = to_lower(input_.substr(name_start, pos_ - name_start));
+  token.type = closing ? Token::Type::EndTag : Token::Type::StartTag;
+
+  if (!closing) {
+    lex_attributes(token);
+  } else {
+    // Skip anything up to '>'.
+    while (pos_ < input_.size() && input_[pos_] != '>') ++pos_;
+  }
+  if (pos_ < input_.size() && input_[pos_] == '>') ++pos_;
+
+  if (token.type == Token::Type::StartTag && !token.self_closing &&
+      is_raw_text_element(token.data)) {
+    raw_text_end_tag_ = token.data;
+  }
+  return token;
+}
+
+void Tokenizer::lex_attributes(Token& token) {
+  while (pos_ < input_.size()) {
+    while (pos_ < input_.size() && ascii_isspace(input_[pos_])) ++pos_;
+    if (pos_ >= input_.size()) return;
+    if (input_[pos_] == '>') return;
+    if (input_[pos_] == '/') {
+      // Possible self-closing marker.
+      ++pos_;
+      if (pos_ < input_.size() && input_[pos_] == '>') {
+        token.self_closing = true;
+        return;
+      }
+      continue;
+    }
+    // Attribute name.
+    const std::size_t name_start = pos_;
+    while (pos_ < input_.size() && input_[pos_] != '=' &&
+           input_[pos_] != '>' && input_[pos_] != '/' &&
+           !ascii_isspace(input_[pos_])) {
+      ++pos_;
+    }
+    Attribute attr;
+    attr.name = to_lower(input_.substr(name_start, pos_ - name_start));
+    while (pos_ < input_.size() && ascii_isspace(input_[pos_])) ++pos_;
+    if (pos_ < input_.size() && input_[pos_] == '=') {
+      ++pos_;
+      while (pos_ < input_.size() && ascii_isspace(input_[pos_])) ++pos_;
+      if (pos_ < input_.size() &&
+          (input_[pos_] == '"' || input_[pos_] == '\'')) {
+        const char quote = input_[pos_++];
+        const std::size_t value_start = pos_;
+        while (pos_ < input_.size() && input_[pos_] != quote) ++pos_;
+        attr.value = std::string(input_.substr(value_start,
+                                               pos_ - value_start));
+        if (pos_ < input_.size()) ++pos_;  // closing quote
+      } else {
+        const std::size_t value_start = pos_;
+        while (pos_ < input_.size() && !ascii_isspace(input_[pos_]) &&
+               input_[pos_] != '>') {
+          ++pos_;
+        }
+        attr.value = std::string(input_.substr(value_start,
+                                               pos_ - value_start));
+      }
+    }
+    if (!attr.name.empty()) token.attributes.push_back(std::move(attr));
+  }
+}
+
+Token Tokenizer::lex_comment() {
+  pos_ += 4;  // "<!--"
+  const std::size_t start = pos_;
+  const auto end = input_.find("-->", pos_);
+  Token token;
+  token.type = Token::Type::Comment;
+  if (end == std::string_view::npos) {
+    token.data = std::string(input_.substr(start));
+    pos_ = input_.size();
+  } else {
+    token.data = std::string(input_.substr(start, end - start));
+    pos_ = end + 3;
+  }
+  return token;
+}
+
+Token Tokenizer::lex_doctype() {
+  pos_ += 2;  // "<!"
+  const std::size_t start = pos_;
+  while (pos_ < input_.size() && input_[pos_] != '>') ++pos_;
+  Token token;
+  token.type = Token::Type::Doctype;
+  token.data = std::string(input_.substr(start, pos_ - start));
+  if (pos_ < input_.size()) ++pos_;
+  return token;
+}
+
+Token Tokenizer::lex_raw_text() {
+  // Scan for "</script" / "</style" case-insensitively.
+  const std::string needle = "</" + raw_text_end_tag_;
+  std::size_t search = pos_;
+  std::size_t found = std::string_view::npos;
+  while (search + needle.size() <= input_.size()) {
+    if (iequals(input_.substr(search, needle.size()), needle)) {
+      found = search;
+      break;
+    }
+    ++search;
+  }
+  Token token;
+  token.type = Token::Type::Text;
+  if (found == std::string_view::npos) {
+    token.data = std::string(input_.substr(pos_));
+    pos_ = input_.size();
+    raw_text_end_tag_.clear();
+    return token;
+  }
+  token.data = std::string(input_.substr(pos_, found - pos_));
+  pos_ = found;
+  raw_text_end_tag_.clear();
+  return token;  // the closing tag is lexed as the next token
+}
+
+std::vector<Token> Tokenizer::tokenize_all(std::string_view input) {
+  Tokenizer tokenizer(input);
+  std::vector<Token> out;
+  while (true) {
+    Token token = tokenizer.next();
+    if (token.type == Token::Type::Eof) break;
+    out.push_back(std::move(token));
+  }
+  return out;
+}
+
+}  // namespace catalyst::html

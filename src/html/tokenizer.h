@@ -1,0 +1,55 @@
+// HTML tokenizer (pragmatic subset of the WHATWG tokenizer).
+//
+// The origin server's CacheCatalyst module and the browser emulator both
+// parse real HTML text: the server to discover subresource links for the
+// X-Etag-Config map, the browser to drive dependency resolution. The
+// tokenizer handles start/end tags with attributes, comments, doctype,
+// and raw-text elements (script/style) whose content must not be
+// interpreted as markup.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace catalyst::html {
+
+struct Attribute {
+  std::string name;   // lowercased
+  std::string value;  // entity decoding not applied (links rarely need it)
+
+  bool operator==(const Attribute&) const = default;
+};
+
+struct Token {
+  enum class Type { StartTag, EndTag, Text, Comment, Doctype, Eof };
+
+  Type type = Type::Eof;
+  std::string data;  // tag name (lowercased) or text/comment content
+  std::vector<Attribute> attributes;  // StartTag only
+  bool self_closing = false;          // StartTag only
+};
+
+class Tokenizer {
+ public:
+  explicit Tokenizer(std::string_view input) : input_(input) {}
+
+  /// Returns the next token; Type::Eof once input is exhausted.
+  Token next();
+
+  /// Convenience: tokenize everything (excluding the trailing Eof).
+  static std::vector<Token> tokenize_all(std::string_view input);
+
+ private:
+  Token lex_tag();
+  Token lex_comment();
+  Token lex_doctype();
+  Token lex_raw_text();
+  void lex_attributes(Token& token);
+
+  std::string_view input_;
+  std::size_t pos_ = 0;
+  std::string raw_text_end_tag_;  // non-empty while in raw-text mode
+};
+
+}  // namespace catalyst::html

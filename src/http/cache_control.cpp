@@ -1,0 +1,92 @@
+#include "http/cache_control.h"
+
+#include <vector>
+
+#include "util/strings.h"
+
+namespace catalyst::http {
+
+CacheControl CacheControl::parse(std::string_view text) {
+  CacheControl cc;
+  for (std::string_view piece : split(text, ',')) {
+    piece = trim(piece);
+    if (piece.empty()) continue;
+    std::string_view name = piece;
+    std::string_view arg;
+    if (const auto eq = piece.find('='); eq != std::string_view::npos) {
+      name = trim(piece.substr(0, eq));
+      arg = trim(piece.substr(eq + 1));
+      // Argument may be a quoted string.
+      if (arg.size() >= 2 && arg.front() == '"' && arg.back() == '"') {
+        arg = arg.substr(1, arg.size() - 2);
+      }
+    }
+    if (iequals(name, "no-store")) {
+      cc.no_store = true;
+    } else if (iequals(name, "no-cache")) {
+      cc.no_cache = true;
+    } else if (iequals(name, "must-revalidate")) {
+      cc.must_revalidate = true;
+    } else if (iequals(name, "immutable")) {
+      cc.immutable = true;
+    } else if (iequals(name, "public")) {
+      cc.is_public = true;
+    } else if (iequals(name, "private")) {
+      cc.is_private = true;
+    } else if (iequals(name, "max-age")) {
+      std::uint64_t secs = 0;
+      if (parse_u64(arg, secs)) {
+        cc.max_age = seconds(static_cast<std::int64_t>(
+            std::min<std::uint64_t>(secs, 10u * 365 * 24 * 3600)));
+      }
+    }
+    // Unknown directives are ignored.
+  }
+  return cc;
+}
+
+std::string CacheControl::to_string() const {
+  std::vector<std::string> parts;
+  if (no_store) parts.emplace_back("no-store");
+  if (no_cache) parts.emplace_back("no-cache");
+  if (is_public) parts.emplace_back("public");
+  if (is_private) parts.emplace_back("private");
+  if (max_age) {
+    parts.push_back(
+        "max-age=" +
+        std::to_string(
+            std::chrono::duration_cast<std::chrono::seconds>(*max_age)
+                .count()));
+  }
+  if (must_revalidate) parts.emplace_back("must-revalidate");
+  if (immutable) parts.emplace_back("immutable");
+  return join(parts, ", ");
+}
+
+CacheControl CacheControl::store_forever() {
+  CacheControl cc;
+  cc.is_public = true;
+  cc.max_age = days(365);
+  cc.immutable = true;
+  return cc;
+}
+
+CacheControl CacheControl::with_max_age(Duration ttl) {
+  CacheControl cc;
+  cc.max_age = ttl;
+  return cc;
+}
+
+CacheControl CacheControl::revalidate_always() {
+  CacheControl cc;
+  cc.no_cache = true;
+  return cc;
+}
+
+CacheControl CacheControl::never_store() {
+  CacheControl cc;
+  cc.no_store = true;
+  return cc;
+}
+
+}  // namespace catalyst::http

@@ -1,0 +1,42 @@
+// Cache-Control directive parsing and construction (RFC 9111 §5.2).
+//
+// The paper's motivation rests on how developers set (or fail to set) these
+// directives: no-store, no-cache, max-age with conservative TTLs. The
+// workload layer synthesizes realistic directive mixes and the browser
+// cache interprets them here.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "util/types.h"
+
+namespace catalyst::http {
+
+struct CacheControl {
+  bool no_store = false;
+  bool no_cache = false;
+  bool must_revalidate = false;
+  bool immutable = false;
+  bool is_public = false;
+  bool is_private = false;
+  std::optional<Duration> max_age;
+
+  /// Parses a Cache-Control field value. Unknown directives are ignored
+  /// (per RFC 9111 §5.2.3); malformed max-age values drop the directive.
+  static CacheControl parse(std::string_view text);
+
+  /// Serializes the set directives back to a field value.
+  std::string to_string() const;
+
+  // Common policies used by the server's TTL assignment models.
+  static CacheControl store_forever();      // public, max-age=1y, immutable
+  static CacheControl with_max_age(Duration ttl);
+  static CacheControl revalidate_always();  // no-cache
+  static CacheControl never_store();        // no-store
+
+  bool operator==(const CacheControl&) const = default;
+};
+
+}  // namespace catalyst::http

@@ -1,0 +1,33 @@
+// Server-side conditional request evaluation (RFC 9110 §13).
+//
+// This is the status-quo re-validation path the paper targets: the client
+// pays a full RTT to learn "304 Not Modified". The evaluator is shared by
+// the origin server and the RDR proxy baseline.
+#pragma once
+
+#include <optional>
+
+#include "http/etag.h"
+#include "http/message.h"
+#include "util/types.h"
+
+namespace catalyst::http {
+
+enum class ConditionalOutcome {
+  NotConditional,  // request carried no validators
+  NotModified,     // validators match: respond 304
+  Modified,        // validators do not match: send full representation
+};
+
+/// Evaluates If-None-Match (preferred) then If-Modified-Since against the
+/// current representation's validators.
+ConditionalOutcome evaluate_conditional(
+    const Request& request, const Etag& current_etag,
+    std::optional<TimePoint> last_modified);
+
+/// Builds a 304 response carrying the validators and cache headers the
+/// stored response's metadata should be refreshed from (RFC 9111 §4.3.4).
+Response make_not_modified(const Etag& current_etag,
+                           const Headers& cache_headers);
+
+}  // namespace catalyst::http

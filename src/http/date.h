@@ -1,0 +1,28 @@
+// HTTP date handling (RFC 9110 §5.6.7, IMF-fixdate).
+//
+// The simulation epoch maps to a fixed calendar instant so Date /
+// Last-Modified / Expires headers carry realistic values and the browser
+// cache can compute Age the way RFC 9111 prescribes.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "util/types.h"
+
+namespace catalyst::http {
+
+/// Calendar instant the simulation clock's zero maps to (2026-01-01
+/// 00:00:00 GMT, a Thursday).
+inline constexpr std::int64_t kEpochUnixSeconds = 1767225600;
+
+/// Formats a simulation TimePoint as an IMF-fixdate string
+/// ("Thu, 01 Jan 2026 00:00:00 GMT").
+std::string format_http_date(TimePoint t);
+
+/// Parses an IMF-fixdate string back to a simulation TimePoint.
+/// Returns nullopt on malformed input or dates before the Unix epoch.
+std::optional<TimePoint> parse_http_date(std::string_view text);
+
+}  // namespace catalyst::http

@@ -1,0 +1,43 @@
+#include "http/etag_config.h"
+
+#include "http/headers.h"
+#include "util/json.h"
+
+namespace catalyst::http {
+
+void EtagConfig::add(std::string path, Etag etag) {
+  entries_[std::move(path)] = std::move(etag);
+}
+
+std::optional<Etag> EtagConfig::find(std::string_view path) const {
+  const auto it = entries_.find(std::string(path));
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string EtagConfig::encode() const {
+  Json object = Json::object();
+  for (const auto& [path, etag] : entries_) {
+    object.set(path, Json::string(etag.to_string()));
+  }
+  return object.dump();
+}
+
+std::optional<EtagConfig> EtagConfig::parse(std::string_view header_value) {
+  const auto json = Json::parse(header_value);
+  if (!json || !json->is_object()) return std::nullopt;
+  EtagConfig config;
+  for (const auto& [path, value] : json->as_object()) {
+    if (!value.is_string()) return std::nullopt;
+    if (auto etag = Etag::parse(value.as_string())) {
+      config.add(path, std::move(*etag));
+    }
+  }
+  return config;
+}
+
+ByteCount EtagConfig::header_wire_size() const {
+  return kXEtagConfig.size() + 2 + encode().size() + 2;
+}
+
+}  // namespace catalyst::http

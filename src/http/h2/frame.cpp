@@ -1,0 +1,130 @@
+#include "http/h2/frame.h"
+
+#include <stdexcept>
+
+namespace catalyst::http::h2 {
+
+namespace {
+
+constexpr std::size_t kMaxFrameSize = 16 * 1024 * 1024;
+
+void append_u24(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>((v >> 16) & 0xFF));
+  out.push_back(static_cast<char>((v >> 8) & 0xFF));
+  out.push_back(static_cast<char>(v & 0xFF));
+}
+
+void append_u32(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>((v >> 24) & 0xFF));
+  out.push_back(static_cast<char>((v >> 16) & 0xFF));
+  out.push_back(static_cast<char>((v >> 8) & 0xFF));
+  out.push_back(static_cast<char>(v & 0xFF));
+}
+
+std::uint32_t read_u32(const char* p) {
+  return (static_cast<std::uint32_t>(static_cast<std::uint8_t>(p[0])) << 24) |
+         (static_cast<std::uint32_t>(static_cast<std::uint8_t>(p[1])) << 16) |
+         (static_cast<std::uint32_t>(static_cast<std::uint8_t>(p[2])) << 8) |
+         static_cast<std::uint32_t>(static_cast<std::uint8_t>(p[3]));
+}
+
+}  // namespace
+
+std::string serialize_frame(const Frame& frame) {
+  if (frame.payload.size() > kMaxFrameSize) {
+    throw std::invalid_argument("h2: frame payload too large");
+  }
+  std::string out;
+  out.reserve(frame.wire_size());
+  append_u24(out, static_cast<std::uint32_t>(frame.payload.size()));
+  out.push_back(static_cast<char>(frame.type));
+  out.push_back(static_cast<char>(frame.flags));
+  append_u32(out, frame.stream_id & 0x7FFFFFFFu);
+  out.append(frame.payload);
+  return out;
+}
+
+void FrameReader::feed(std::string_view data) { buffer_.append(data); }
+
+std::optional<Frame> FrameReader::next() {
+  if (buffer_.size() < 9) return std::nullopt;
+  const auto* p = buffer_.data();
+  const std::size_t length =
+      (static_cast<std::size_t>(static_cast<std::uint8_t>(p[0])) << 16) |
+      (static_cast<std::size_t>(static_cast<std::uint8_t>(p[1])) << 8) |
+      static_cast<std::size_t>(static_cast<std::uint8_t>(p[2]));
+  if (length > kMaxFrameSize) {
+    throw std::runtime_error("h2: oversized frame");
+  }
+  if (buffer_.size() < 9 + length) return std::nullopt;
+  Frame frame;
+  frame.type = static_cast<FrameType>(static_cast<std::uint8_t>(p[3]));
+  frame.flags = static_cast<std::uint8_t>(p[4]);
+  frame.stream_id = read_u32(p + 5) & 0x7FFFFFFFu;
+  frame.payload = buffer_.substr(9, length);
+  buffer_.erase(0, 9 + length);
+  return frame;
+}
+
+std::string encode_push_promise_payload(std::uint32_t promised_stream,
+                                        std::string_view header_block) {
+  std::string out;
+  append_u32(out, promised_stream & 0x7FFFFFFFu);
+  out.append(header_block);
+  return out;
+}
+
+std::optional<std::pair<std::uint32_t, std::string>>
+decode_push_promise_payload(std::string_view payload) {
+  if (payload.size() < 4) return std::nullopt;
+  const std::uint32_t promised = read_u32(payload.data()) & 0x7FFFFFFFu;
+  return std::make_pair(promised, std::string(payload.substr(4)));
+}
+
+std::string encode_header_block(
+    const std::vector<std::pair<std::string, std::string>>& fields) {
+  std::string out;
+  for (const auto& [name, value] : fields) {
+    if (name.size() > 0xFFFF || value.size() > 0xFFFF) {
+      throw std::invalid_argument("h2: header field too large");
+    }
+    out.push_back(static_cast<char>((name.size() >> 8) & 0xFF));
+    out.push_back(static_cast<char>(name.size() & 0xFF));
+    out.append(name);
+    out.push_back(static_cast<char>((value.size() >> 8) & 0xFF));
+    out.push_back(static_cast<char>(value.size() & 0xFF));
+    out.append(value);
+  }
+  return out;
+}
+
+std::optional<std::vector<std::pair<std::string, std::string>>>
+decode_header_block(std::string_view block) {
+  std::vector<std::pair<std::string, std::string>> out;
+  std::size_t pos = 0;
+  auto read_len = [&](std::size_t& len) {
+    if (pos + 2 > block.size()) return false;
+    len = (static_cast<std::size_t>(static_cast<std::uint8_t>(block[pos]))
+           << 8) |
+          static_cast<std::size_t>(static_cast<std::uint8_t>(block[pos + 1]));
+    pos += 2;
+    return true;
+  };
+  while (pos < block.size()) {
+    std::size_t name_len = 0, value_len = 0;
+    if (!read_len(name_len) || pos + name_len > block.size()) {
+      return std::nullopt;
+    }
+    std::string name(block.substr(pos, name_len));
+    pos += name_len;
+    if (!read_len(value_len) || pos + value_len > block.size()) {
+      return std::nullopt;
+    }
+    std::string value(block.substr(pos, value_len));
+    pos += value_len;
+    out.emplace_back(std::move(name), std::move(value));
+  }
+  return out;
+}
+
+}  // namespace catalyst::http::h2

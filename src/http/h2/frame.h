@@ -1,0 +1,81 @@
+// Simplified HTTP/2 framing (RFC 9113 subset).
+//
+// The Server-Push baseline needs PUSH_PROMISE semantics: the server
+// announces a resource on an even stream before the client asks for it.
+// We implement the binary frame layer (9-octet header + payload) with the
+// frame types the simulation uses — enough to round-trip real bytes in
+// tests and to account push overhead — while header compression is a
+// simple length-preserving block instead of full HPACK.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace catalyst::http::h2 {
+
+enum class FrameType : std::uint8_t {
+  Data = 0x0,
+  Headers = 0x1,
+  RstStream = 0x3,
+  Settings = 0x4,
+  PushPromise = 0x5,
+  Ping = 0x6,
+  GoAway = 0x7,
+  WindowUpdate = 0x8,
+};
+
+// Frame flags (meaning depends on type).
+inline constexpr std::uint8_t kFlagEndStream = 0x1;
+inline constexpr std::uint8_t kFlagEndHeaders = 0x4;
+inline constexpr std::uint8_t kFlagAck = 0x1;
+
+struct Frame {
+  FrameType type = FrameType::Data;
+  std::uint8_t flags = 0;
+  std::uint32_t stream_id = 0;  // 31 bits
+  std::string payload;
+
+  bool end_stream() const { return flags & kFlagEndStream; }
+  bool end_headers() const { return flags & kFlagEndHeaders; }
+
+  /// Total wire size: 9-octet header + payload.
+  std::size_t wire_size() const { return 9 + payload.size(); }
+};
+
+/// Serializes a frame to wire bytes.
+std::string serialize_frame(const Frame& frame);
+
+/// Incremental frame reader: feed bytes, poll frames.
+class FrameReader {
+ public:
+  /// Appends bytes to the internal buffer.
+  void feed(std::string_view data);
+
+  /// Extracts the next complete frame, if any. Returns nullopt when more
+  /// bytes are needed. Throws std::runtime_error on oversized frames
+  /// (> 16 MiB, beyond any SETTINGS_MAX_FRAME_SIZE we would allow).
+  std::optional<Frame> next();
+
+  std::size_t buffered() const { return buffer_.size(); }
+
+ private:
+  std::string buffer_;
+};
+
+/// PUSH_PROMISE payload helpers: promised stream id + header block.
+std::string encode_push_promise_payload(std::uint32_t promised_stream,
+                                        std::string_view header_block);
+std::optional<std::pair<std::uint32_t, std::string>>
+decode_push_promise_payload(std::string_view payload);
+
+/// Minimal header-block codec: length-prefixed name/value pairs. Stands in
+/// for HPACK with a realistic-but-simple encoding whose size we account.
+std::string encode_header_block(
+    const std::vector<std::pair<std::string, std::string>>& fields);
+std::optional<std::vector<std::pair<std::string, std::string>>>
+decode_header_block(std::string_view block);
+
+}  // namespace catalyst::http::h2

@@ -1,0 +1,181 @@
+#include "http/h2/session.h"
+
+#include "util/strings.h"
+
+namespace catalyst::http::h2 {
+
+namespace {
+
+void append_body_frames(std::vector<Frame>& frames, const std::string& body,
+                        std::uint32_t stream_id) {
+  if (body.empty()) {
+    // END_STREAM travelled on the HEADERS frame.
+    return;
+  }
+  std::size_t pos = 0;
+  while (pos < body.size()) {
+    const std::size_t take =
+        std::min(MessageCodec::kMaxDataFrame, body.size() - pos);
+    Frame data;
+    data.type = FrameType::Data;
+    data.stream_id = stream_id;
+    data.payload = body.substr(pos, take);
+    pos += take;
+    if (pos == body.size()) data.flags |= kFlagEndStream;
+    frames.push_back(std::move(data));
+  }
+}
+
+std::vector<std::pair<std::string, std::string>> request_fields(
+    const Request& request) {
+  std::vector<std::pair<std::string, std::string>> fields;
+  fields.emplace_back(":method", std::string(to_string(request.method)));
+  fields.emplace_back(":path", request.target);
+  fields.emplace_back(":scheme", "https");
+  if (const auto host = request.headers.get(kHost)) {
+    fields.emplace_back(":authority", std::string(*host));
+  }
+  for (const auto& field : request.headers.fields()) {
+    if (iequals(field.name, kHost)) continue;  // carried as :authority
+    fields.emplace_back(to_lower(field.name), field.value);
+  }
+  return fields;
+}
+
+}  // namespace
+
+std::vector<Frame> MessageCodec::encode_request(const Request& request,
+                                                std::uint32_t stream_id) {
+  std::vector<Frame> frames;
+  Frame headers;
+  headers.type = FrameType::Headers;
+  headers.stream_id = stream_id;
+  headers.flags = kFlagEndHeaders;
+  if (request.body.empty()) headers.flags |= kFlagEndStream;
+  headers.payload = encode_header_block(request_fields(request));
+  frames.push_back(std::move(headers));
+  append_body_frames(frames, request.body, stream_id);
+  return frames;
+}
+
+std::vector<Frame> MessageCodec::encode_response(const Response& response,
+                                                 std::uint32_t stream_id) {
+  std::vector<Frame> frames;
+  std::vector<std::pair<std::string, std::string>> fields;
+  fields.emplace_back(":status", std::to_string(code(response.status)));
+  for (const auto& field : response.headers.fields()) {
+    fields.emplace_back(to_lower(field.name), field.value);
+  }
+  Frame headers;
+  headers.type = FrameType::Headers;
+  headers.stream_id = stream_id;
+  headers.flags = kFlagEndHeaders;
+  if (response.body.empty()) headers.flags |= kFlagEndStream;
+  headers.payload = encode_header_block(fields);
+  frames.push_back(std::move(headers));
+  append_body_frames(frames, response.body, stream_id);
+  return frames;
+}
+
+std::vector<Frame> MessageCodec::encode_push(
+    const std::string& target, const Response& response,
+    std::uint32_t assoc_stream, std::uint32_t promised_stream) {
+  std::vector<Frame> frames;
+  Frame promise;
+  promise.type = FrameType::PushPromise;
+  promise.stream_id = assoc_stream;
+  promise.flags = kFlagEndHeaders;
+  promise.payload = encode_push_promise_payload(
+      promised_stream,
+      encode_header_block({{":method", "GET"}, {":path", target}}));
+  frames.push_back(std::move(promise));
+  auto response_frames = encode_response(response, promised_stream);
+  frames.insert(frames.end(),
+                std::make_move_iterator(response_frames.begin()),
+                std::make_move_iterator(response_frames.end()));
+  return frames;
+}
+
+namespace {
+
+struct Reassembled {
+  std::vector<std::pair<std::string, std::string>> fields;
+  std::string body;
+};
+
+std::optional<Reassembled> reassemble(const std::vector<Frame>& frames) {
+  if (frames.empty() || frames.front().type != FrameType::Headers) {
+    return std::nullopt;
+  }
+  Reassembled out;
+  const auto fields = decode_header_block(frames.front().payload);
+  if (!fields) return std::nullopt;
+  out.fields = *fields;
+  for (std::size_t i = 1; i < frames.size(); ++i) {
+    if (frames[i].type != FrameType::Data) return std::nullopt;
+    if (frames[i].stream_id != frames.front().stream_id) {
+      return std::nullopt;
+    }
+    out.body += frames[i].payload;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::optional<Request> MessageCodec::decode_request(
+    const std::vector<Frame>& frames) {
+  const auto reassembled = reassemble(frames);
+  if (!reassembled) return std::nullopt;
+  Request request;
+  bool saw_method = false, saw_path = false;
+  for (const auto& [name, value] : reassembled->fields) {
+    if (name == ":method") {
+      const auto method = parse_method(value);
+      if (!method) return std::nullopt;
+      request.method = *method;
+      saw_method = true;
+    } else if (name == ":path") {
+      request.target = value;
+      saw_path = true;
+    } else if (name == ":authority") {
+      request.headers.set(kHost, value);
+    } else if (name == ":scheme") {
+      // not represented in Request
+    } else {
+      request.headers.add(name, value);
+    }
+  }
+  if (!saw_method || !saw_path) return std::nullopt;
+  request.body = reassembled->body;
+  return request;
+}
+
+std::optional<Response> MessageCodec::decode_response(
+    const std::vector<Frame>& frames) {
+  const auto reassembled = reassemble(frames);
+  if (!reassembled) return std::nullopt;
+  Response response;
+  bool saw_status = false;
+  for (const auto& [name, value] : reassembled->fields) {
+    if (name == ":status") {
+      std::uint64_t status_code = 0;
+      if (!parse_u64(value, status_code)) return std::nullopt;
+      response.status = static_cast<Status>(status_code);
+      saw_status = true;
+    } else {
+      response.headers.add(name, value);
+    }
+  }
+  if (!saw_status) return std::nullopt;
+  response.body = reassembled->body;
+  return response;
+}
+
+std::size_t MessageCodec::wire_size(const std::vector<Frame>& frames) {
+  std::size_t total = 0;
+  for (const Frame& frame : frames) total += frame.wire_size();
+  return total;
+}
+
+}  // namespace catalyst::http::h2

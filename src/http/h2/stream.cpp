@@ -1,0 +1,75 @@
+#include "http/h2/stream.h"
+
+namespace catalyst::http::h2 {
+
+std::uint32_t StreamTable::open_next() {
+  if (next_own_id_ == 0) {
+    next_own_id_ = is_client_ ? 1 : 2;
+  } else {
+    next_own_id_ += 2;
+  }
+  streams_[next_own_id_] = StreamState::Open;
+  return next_own_id_;
+}
+
+bool StreamTable::reserve_pushed(std::uint32_t promised_id) {
+  if (promised_id == 0 || promised_id % 2 != 0) return false;  // even only
+  if (promised_id <= max_seen_even_) return false;             // must grow
+  max_seen_even_ = promised_id;
+  streams_[promised_id] = StreamState::ReservedRemote;
+  return true;
+}
+
+void StreamTable::half_close_local(std::uint32_t id) {
+  auto it = streams_.find(id);
+  if (it == streams_.end()) return;
+  switch (it->second) {
+    case StreamState::Open:
+      it->second = StreamState::HalfClosedLocal;
+      break;
+    case StreamState::HalfClosedRemote:
+      it->second = StreamState::Closed;
+      break;
+    default:
+      break;
+  }
+}
+
+void StreamTable::half_close_remote(std::uint32_t id) {
+  auto it = streams_.find(id);
+  if (it == streams_.end()) return;
+  switch (it->second) {
+    case StreamState::Open:
+      it->second = StreamState::HalfClosedRemote;
+      break;
+    case StreamState::ReservedRemote:
+      // The pushed response completed.
+      it->second = StreamState::Closed;
+      break;
+    case StreamState::HalfClosedLocal:
+      it->second = StreamState::Closed;
+      break;
+    default:
+      break;
+  }
+}
+
+void StreamTable::close(std::uint32_t id) {
+  auto it = streams_.find(id);
+  if (it != streams_.end()) it->second = StreamState::Closed;
+}
+
+StreamState StreamTable::state(std::uint32_t id) const {
+  const auto it = streams_.find(id);
+  return it == streams_.end() ? StreamState::Idle : it->second;
+}
+
+std::size_t StreamTable::open_count() const {
+  std::size_t n = 0;
+  for (const auto& [id, state] : streams_) {
+    if (state != StreamState::Closed && state != StreamState::Idle) ++n;
+  }
+  return n;
+}
+
+}  // namespace catalyst::http::h2

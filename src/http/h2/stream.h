@@ -1,0 +1,56 @@
+// HTTP/2 stream bookkeeping (RFC 9113 §5 subset).
+//
+// Tracks stream identifiers and state transitions for a single connection:
+// client-initiated streams are odd, server-pushed streams are even, ids
+// only grow. The netsim transport uses this to validate the push baseline's
+// stream discipline.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+namespace catalyst::http::h2 {
+
+enum class StreamState {
+  Idle,
+  Open,
+  ReservedRemote,  // promised via PUSH_PROMISE (client view)
+  HalfClosedLocal,
+  HalfClosedRemote,
+  Closed,
+};
+
+/// Per-connection stream table for one endpoint.
+class StreamTable {
+ public:
+  /// `is_client` decides which parity this endpoint may initiate.
+  explicit StreamTable(bool is_client) : is_client_(is_client) {}
+
+  /// Allocates the next stream id this endpoint may initiate (odd for
+  /// clients, even for servers) and opens it.
+  std::uint32_t open_next();
+
+  /// Records a PUSH_PROMISE received for `promised_id` (client side).
+  /// Returns false when the id has the wrong parity or does not grow.
+  bool reserve_pushed(std::uint32_t promised_id);
+
+  /// Transitions after sending/receiving END_STREAM.
+  void half_close_local(std::uint32_t id);
+  void half_close_remote(std::uint32_t id);
+
+  /// Fully closes a stream (e.g. RST_STREAM).
+  void close(std::uint32_t id);
+
+  StreamState state(std::uint32_t id) const;
+
+  std::size_t open_count() const;
+
+ private:
+  bool is_client_;
+  std::uint32_t next_own_id_ = 0;      // lazily initialized on first open
+  std::uint32_t max_seen_even_ = 0;
+  std::map<std::uint32_t, StreamState> streams_;
+};
+
+}  // namespace catalyst::http::h2

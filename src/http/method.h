@@ -1,0 +1,46 @@
+// HTTP request methods (RFC 9110 §9). The simulator only issues safe
+// methods, but the message layer models the full set.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+namespace catalyst::http {
+
+enum class Method { Get, Head, Post, Put, Delete, Options, Trace, Connect };
+
+constexpr std::string_view to_string(Method m) {
+  switch (m) {
+    case Method::Get:
+      return "GET";
+    case Method::Head:
+      return "HEAD";
+    case Method::Post:
+      return "POST";
+    case Method::Put:
+      return "PUT";
+    case Method::Delete:
+      return "DELETE";
+    case Method::Options:
+      return "OPTIONS";
+    case Method::Trace:
+      return "TRACE";
+    case Method::Connect:
+      return "CONNECT";
+  }
+  return "GET";
+}
+
+constexpr std::optional<Method> parse_method(std::string_view s) {
+  if (s == "GET") return Method::Get;
+  if (s == "HEAD") return Method::Head;
+  if (s == "POST") return Method::Post;
+  if (s == "PUT") return Method::Put;
+  if (s == "DELETE") return Method::Delete;
+  if (s == "OPTIONS") return Method::Options;
+  if (s == "TRACE") return Method::Trace;
+  if (s == "CONNECT") return Method::Connect;
+  return std::nullopt;
+}
+
+}  // namespace catalyst::http

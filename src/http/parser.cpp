@@ -1,0 +1,251 @@
+#include "http/parser.h"
+
+#include "util/strings.h"
+
+namespace catalyst::http {
+
+namespace detail {
+
+ParseResult MessageFramer::feed(std::string_view data) {
+  if (state_ == State::Error) return ParseResult::Error;
+  if (state_ == State::Done) {
+    if (!data.empty()) state_ = State::Error;  // trailing bytes
+    return state_ == State::Done ? ParseResult::Done : ParseResult::Error;
+  }
+  buffer_.append(data);
+  if (state_ == State::Head) {
+    const ParseResult r = parse_head();
+    if (r != ParseResult::Done) return r;  // NeedMore or Error
+    bool chunked = false;
+    if (const auto te = headers_.get("Transfer-Encoding")) {
+      if (iequals(trim(*te), "chunked")) {
+        chunked = true;
+      } else {
+        state_ = State::Error;  // unsupported coding
+        return ParseResult::Error;
+      }
+    }
+    state_ = chunked ? State::ChunkSize : State::Body;
+  }
+  if (state_ == State::Body) return consume_body();
+  return consume_chunked();
+}
+
+ParseResult MessageFramer::consume_body() {
+  // Move up to body_expected_ bytes from buffer_ into body_.
+  const std::size_t take = std::min(buffer_.size(), body_expected_);
+  body_.append(buffer_, 0, take);
+  buffer_.erase(0, take);
+  body_expected_ -= take;
+  if (body_expected_ > 0) return ParseResult::NeedMore;
+  if (!buffer_.empty()) {
+    state_ = State::Error;  // bytes beyond Content-Length
+    return ParseResult::Error;
+  }
+  state_ = State::Done;
+  return ParseResult::Done;
+}
+
+ParseResult MessageFramer::consume_chunked() {
+  while (true) {
+    switch (state_) {
+      case State::ChunkSize: {
+        const auto eol = buffer_.find("\r\n");
+        if (eol == std::string::npos) {
+          if (buffer_.size() > 18) {  // longer than any sane hex size
+            state_ = State::Error;
+            return ParseResult::Error;
+          }
+          return ParseResult::NeedMore;
+        }
+        // Parse the hex chunk size (chunk extensions are rejected).
+        std::size_t size = 0;
+        bool any = false;
+        for (char c : std::string_view(buffer_).substr(0, eol)) {
+          int digit;
+          if (ascii_isdigit(c)) {
+            digit = c - '0';
+          } else if (c >= 'a' && c <= 'f') {
+            digit = c - 'a' + 10;
+          } else if (c >= 'A' && c <= 'F') {
+            digit = c - 'A' + 10;
+          } else {
+            state_ = State::Error;
+            return ParseResult::Error;
+          }
+          if (size > (std::size_t(1) << 40)) {
+            state_ = State::Error;
+            return ParseResult::Error;
+          }
+          size = size * 16 + static_cast<std::size_t>(digit);
+          any = true;
+        }
+        if (!any) {
+          state_ = State::Error;
+          return ParseResult::Error;
+        }
+        buffer_.erase(0, eol + 2);
+        body_expected_ = size;
+        state_ = (size == 0) ? State::ChunkLast : State::ChunkData;
+        break;
+      }
+      case State::ChunkData: {
+        const std::size_t take = std::min(buffer_.size(), body_expected_);
+        body_.append(buffer_, 0, take);
+        buffer_.erase(0, take);
+        body_expected_ -= take;
+        if (body_expected_ > 0) return ParseResult::NeedMore;
+        state_ = State::ChunkEnd;
+        break;
+      }
+      case State::ChunkEnd: {
+        if (buffer_.size() < 2) return ParseResult::NeedMore;
+        if (buffer_.substr(0, 2) != "\r\n") {
+          state_ = State::Error;
+          return ParseResult::Error;
+        }
+        buffer_.erase(0, 2);
+        state_ = State::ChunkSize;
+        break;
+      }
+      case State::ChunkLast: {
+        // No trailer fields supported: expect the final CRLF.
+        if (buffer_.size() < 2) return ParseResult::NeedMore;
+        if (buffer_.substr(0, 2) != "\r\n" || buffer_.size() > 2) {
+          state_ = State::Error;
+          return ParseResult::Error;
+        }
+        buffer_.clear();
+        state_ = State::Done;
+        return ParseResult::Done;
+      }
+      default:
+        state_ = State::Error;
+        return ParseResult::Error;
+    }
+  }
+}
+
+ParseResult MessageFramer::parse_head() {
+  const auto head_end = buffer_.find("\r\n\r\n");
+  if (head_end == std::string::npos) {
+    // Guard against unbounded garbage without a head terminator.
+    if (buffer_.size() > 256 * 1024) {
+      state_ = State::Error;
+      return ParseResult::Error;
+    }
+    return ParseResult::NeedMore;
+  }
+  const std::string head = buffer_.substr(0, head_end);
+  buffer_.erase(0, head_end + 4);
+
+  std::size_t pos = 0;
+  bool first = true;
+  while (pos < head.size() || first) {
+    auto eol = head.find("\r\n", pos);
+    if (eol == std::string::npos) eol = head.size();
+    const std::string_view line = std::string_view(head).substr(pos, eol - pos);
+    pos = eol + 2;
+    if (first) {
+      if (line.empty()) {
+        state_ = State::Error;
+        return ParseResult::Error;
+      }
+      start_line_ = std::string(line);
+      first = false;
+      continue;
+    }
+    if (line.empty()) continue;
+    const auto colon = line.find(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      state_ = State::Error;
+      return ParseResult::Error;
+    }
+    const std::string_view name = line.substr(0, colon);
+    // Field names must not contain whitespace (RFC 9112 §5.1).
+    for (char c : name) {
+      if (ascii_isspace(c)) {
+        state_ = State::Error;
+        return ParseResult::Error;
+      }
+    }
+    headers_.add(name, trim(line.substr(colon + 1)));
+  }
+
+  std::uint64_t length = 0;
+  if (const auto cl = headers_.get(kContentLength)) {
+    if (!parse_u64(trim(*cl), length)) {
+      state_ = State::Error;
+      return ParseResult::Error;
+    }
+  }
+  body_expected_ = length;
+  return ParseResult::Done;
+}
+
+void MessageFramer::reset() {
+  state_ = State::Head;
+  buffer_.clear();
+  start_line_.clear();
+  headers_ = Headers{};
+  body_.clear();
+  body_expected_ = 0;
+}
+
+}  // namespace detail
+
+ParseResult RequestParser::feed(std::string_view data) {
+  const ParseResult r = framer_.feed(data);
+  done_ = (r == ParseResult::Done);
+  return r;
+}
+
+Request RequestParser::take() {
+  Request req;
+  const std::string& line = framer_.start_line();
+  const auto pieces = split(line, ' ');
+  if (pieces.size() == 3) {
+    if (const auto m = parse_method(pieces[0])) req.method = *m;
+    req.target = std::string(pieces[1]);
+  }
+  req.headers = framer_.headers();
+  req.body = framer_.take_body();
+  framer_.reset();
+  done_ = false;
+  return req;
+}
+
+void RequestParser::reset() {
+  framer_.reset();
+  done_ = false;
+}
+
+ParseResult ResponseParser::feed(std::string_view data) {
+  const ParseResult r = framer_.feed(data);
+  done_ = (r == ParseResult::Done);
+  return r;
+}
+
+Response ResponseParser::take() {
+  Response resp;
+  const std::string& line = framer_.start_line();
+  const auto pieces = split(line, ' ');
+  if (pieces.size() >= 2) {
+    std::uint64_t status_code = 0;
+    if (parse_u64(pieces[1], status_code)) {
+      resp.status = static_cast<Status>(status_code);
+    }
+  }
+  resp.headers = framer_.headers();
+  resp.body = framer_.take_body();
+  framer_.reset();
+  done_ = false;
+  return resp;
+}
+
+void ResponseParser::reset() {
+  framer_.reset();
+  done_ = false;
+}
+
+}  // namespace catalyst::http

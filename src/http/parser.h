@@ -1,0 +1,90 @@
+// Incremental HTTP/1.1 message parser (RFC 9112 subset).
+//
+// Feed bytes in arbitrary chunks; the parser consumes the head section as
+// soon as it is complete and then the body according to Content-Length or
+// chunked transfer coding (Transfer-Encoding: chunked). Bodies longer
+// than the materialized payload (declared sizes) are not a parser
+// concern — the parser handles literal wire bytes.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "http/message.h"
+
+namespace catalyst::http {
+
+enum class ParseResult {
+  NeedMore,  // incomplete; feed more bytes
+  Done,      // a full message is available via take()
+  Error,     // malformed input; parser must be reset
+};
+
+namespace detail {
+
+/// Shared head-section machinery for request/response parsers.
+class MessageFramer {
+ public:
+  ParseResult feed(std::string_view data);
+
+  /// The first line (request line / status line) once the head is parsed.
+  const std::string& start_line() const { return start_line_; }
+  const Headers& headers() const { return headers_; }
+  const std::string& body() const { return body_; }
+  std::string take_body() { return std::move(body_); }
+
+  void reset();
+
+ private:
+  ParseResult parse_head();
+  ParseResult consume_body();
+  ParseResult consume_chunked();
+
+  enum class State {
+    Head,
+    Body,        // fixed-length (Content-Length) body
+    ChunkSize,   // reading "<hex>\r\n"
+    ChunkData,   // reading chunk payload
+    ChunkEnd,    // reading the CRLF after a chunk
+    ChunkLast,   // reading the final CRLF after the 0-chunk
+    Done,
+    Error,
+  };
+  State state_ = State::Head;
+  std::string buffer_;      // unconsumed input
+  std::string start_line_;
+  Headers headers_;
+  std::string body_;        // accumulated body bytes
+  std::size_t body_expected_ = 0;  // bytes still missing (Body/ChunkData)
+};
+
+}  // namespace detail
+
+/// Parses one HTTP/1.1 request (no pipelining: excess bytes are an error).
+class RequestParser {
+ public:
+  ParseResult feed(std::string_view data);
+  /// Valid only after feed() returned Done; resets the parser.
+  Request take();
+  void reset();
+
+ private:
+  detail::MessageFramer framer_;
+  bool done_ = false;
+};
+
+/// Parses one HTTP/1.1 response.
+class ResponseParser {
+ public:
+  ParseResult feed(std::string_view data);
+  Response take();
+  void reset();
+
+ private:
+  detail::MessageFramer framer_;
+  bool done_ = false;
+};
+
+}  // namespace catalyst::http

@@ -1,0 +1,29 @@
+// HTTP/1.1 wire serialization (RFC 9112).
+//
+// The simulator times transfers from wire sizes, but real serialization is
+// still exercised end-to-end: tests round-trip messages through the parser
+// to guarantee that wire_size() accounting matches actual serialized bytes
+// for fully materialized bodies.
+#pragma once
+
+#include <string>
+
+#include "http/message.h"
+
+namespace catalyst::http {
+
+/// Serializes a request in origin-form ("GET /path HTTP/1.1").
+std::string serialize(const Request& request);
+
+/// Serializes a response. The actual body is emitted; when the declared
+/// wire size exceeds the materialized body, the remainder is represented
+/// by the Content-Length header only (the simulation's timing authority).
+std::string serialize(const Response& response);
+
+/// Serializes a response with chunked transfer coding (RFC 9112 §7.1):
+/// the body is split into `chunk_size`-byte chunks; Content-Length is
+/// replaced by Transfer-Encoding: chunked.
+std::string serialize_chunked(const Response& response,
+                              std::size_t chunk_size);
+
+}  // namespace catalyst::http

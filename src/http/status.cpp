@@ -1,0 +1,33 @@
+#include "http/status.h"
+
+namespace catalyst::http {
+
+std::string_view reason_phrase(Status s) {
+  switch (s) {
+    case Status::Ok:
+      return "OK";
+    case Status::NoContent:
+      return "No Content";
+    case Status::MovedPermanently:
+      return "Moved Permanently";
+    case Status::Found:
+      return "Found";
+    case Status::NotModified:
+      return "Not Modified";
+    case Status::BadRequest:
+      return "Bad Request";
+    case Status::Forbidden:
+      return "Forbidden";
+    case Status::NotFound:
+      return "Not Found";
+    case Status::PreconditionFailed:
+      return "Precondition Failed";
+    case Status::InternalServerError:
+      return "Internal Server Error";
+    case Status::ServiceUnavailable:
+      return "Service Unavailable";
+  }
+  return "Unknown";
+}
+
+}  // namespace catalyst::http

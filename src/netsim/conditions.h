@@ -1,0 +1,35 @@
+// Network throttling profiles — the throughput × latency grid of the
+// paper's Figure 3, plus the 5G-median condition it highlights
+// (60 Mbps / 40 ms).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/types.h"
+
+namespace catalyst::netsim {
+
+struct NetworkConditions {
+  Bandwidth downlink = mbps(60);
+  Bandwidth uplink = mbps(12);
+  Duration rtt = milliseconds(40);  // client <-> origin round trip
+
+  /// When true, response transfers pay TCP slow-start ramp-up rounds in
+  /// addition to the fluid transmission time (ablation knob; the paper's
+  /// Chrome throttling shapes an underlying real TCP similarly).
+  bool model_slow_start = false;
+
+  std::string label() const;
+
+  /// Median global 5G access per the paper (§4): 60 Mbps / 40 ms.
+  static NetworkConditions median_5g();
+
+  /// The low-throughput end of Figure 3: 8 Mbps.
+  static NetworkConditions low_throughput(Duration rtt);
+
+  /// The throughput × latency grid reproduced in bench/fig3.
+  static std::vector<NetworkConditions> figure3_grid();
+};
+
+}  // namespace catalyst::netsim

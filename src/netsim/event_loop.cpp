@@ -1,0 +1,72 @@
+#include "netsim/event_loop.h"
+
+#include <stdexcept>
+
+namespace catalyst::netsim {
+
+EventId EventLoop::schedule_at(TimePoint when, std::function<void()> fn) {
+  if (when < now_) when = now_;
+  const EventId id = next_id_++;
+  queue_.push(Event{when, next_seq_++, id});
+  callbacks_.emplace(id, std::move(fn));
+  return id;
+}
+
+EventId EventLoop::schedule_after(Duration delay, std::function<void()> fn) {
+  if (delay < Duration::zero()) delay = Duration::zero();
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+void EventLoop::cancel(EventId id) {
+  if (callbacks_.erase(id) > 0) cancelled_.insert(id);
+}
+
+bool EventLoop::pop_one() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    if (const auto c = cancelled_.find(ev.id); c != cancelled_.end()) {
+      cancelled_.erase(c);
+      continue;
+    }
+    const auto it = callbacks_.find(ev.id);
+    if (it == callbacks_.end()) continue;  // defensive; should not happen
+    std::function<void()> fn = std::move(it->second);
+    callbacks_.erase(it);
+    now_ = ev.when;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+std::size_t EventLoop::run() {
+  std::size_t executed = 0;
+  while (pop_one()) ++executed;
+  return executed;
+}
+
+std::size_t EventLoop::run_until(TimePoint deadline) {
+  std::size_t executed = 0;
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (cancelled_.contains(top.id)) {
+      cancelled_.erase(top.id);
+      queue_.pop();
+      continue;
+    }
+    if (top.when > deadline) break;
+    if (pop_one()) ++executed;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return executed;
+}
+
+void EventLoop::advance_to(TimePoint when) {
+  if (pending() != 0) {
+    throw std::logic_error("EventLoop::advance_to with pending events");
+  }
+  if (when > now_) now_ = when;
+}
+
+}  // namespace catalyst::netsim

@@ -1,0 +1,60 @@
+#include "netsim/trace.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace catalyst::netsim {
+
+std::string_view to_string(FetchSource source) {
+  switch (source) {
+    case FetchSource::Network:
+      return "network";
+    case FetchSource::BrowserCache:
+      return "cache";
+    case FetchSource::NotModified:
+      return "304";
+    case FetchSource::SwCache:
+      return "sw-cache";
+    case FetchSource::Push:
+      return "push";
+  }
+  return "?";
+}
+
+std::string TraceLog::render_waterfall(int width) const {
+  if (traces_.empty()) return "(no fetches)\n";
+  TimePoint t0 = traces_.front().start;
+  TimePoint t1 = traces_.front().finish;
+  std::size_t name_width = 0;
+  for (const FetchTrace& t : traces_) {
+    t0 = std::min(t0, t.start);
+    t1 = std::max(t1, t.finish);
+    name_width = std::max(name_width, t.url.size());
+  }
+  const double total = std::max(1e-9, to_seconds(t1 - t0));
+
+  std::string out;
+  for (const FetchTrace& t : traces_) {
+    const double begin = to_seconds(t.start - t0) / total;
+    const double end = to_seconds(t.finish - t0) / total;
+    const int begin_col = static_cast<int>(begin * width);
+    const int end_col =
+        std::max(begin_col + 1, static_cast<int>(end * width));
+    std::string bar(static_cast<std::size_t>(width), '.');
+    for (int c = begin_col; c < end_col && c < width; ++c) {
+      bar[static_cast<std::size_t>(c)] = '#';
+    }
+    std::string name(t.url);
+    name.resize(name_width, ' ');
+    out += str_format("  %s |%s| %7.1f-%-7.1fms %-8s %s\n", name.c_str(),
+                      bar.c_str(), to_millis(t.start - t0),
+                      to_millis(t.finish - t0),
+                      std::string(to_string(t.source)).c_str(),
+                      t.bytes_down > 0 ? format_bytes(t.bytes_down).c_str()
+                                       : "-");
+  }
+  return out;
+}
+
+}  // namespace catalyst::netsim

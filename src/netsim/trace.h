@@ -1,0 +1,54 @@
+// Per-fetch waterfall traces.
+//
+// Figure 1 of the paper is exactly such a waterfall (index.html, a.css,
+// b.js, c.js, d.jpg across three visit scenarios); bench/fig1_timelines
+// renders these traces as text.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "http/mime.h"
+#include "util/types.h"
+
+namespace catalyst::netsim {
+
+/// Where a resource's bytes ultimately came from.
+enum class FetchSource {
+  Network,       // full download
+  BrowserCache,  // fresh cache hit, no request sent
+  NotModified,   // conditional request answered 304 (RTT paid, no body)
+  SwCache,       // Service Worker served from its cache (CacheCatalyst hit)
+  Push,          // arrived via HTTP/2 Server Push
+};
+
+std::string_view to_string(FetchSource source);
+
+struct FetchTrace {
+  std::string url;
+  http::ResourceClass resource_class = http::ResourceClass::Other;
+  TimePoint start{};    // when the browser needed the resource
+  TimePoint finish{};   // when its bytes were usable
+  FetchSource source = FetchSource::Network;
+  ByteCount bytes_down = 0;  // response bytes on the wire (0 for cache hits)
+
+  Duration elapsed() const { return finish - start; }
+};
+
+/// Collects fetch traces for one page load.
+class TraceLog {
+ public:
+  void record(FetchTrace trace) { traces_.push_back(std::move(trace)); }
+  void clear() { traces_.clear(); }
+
+  const std::vector<FetchTrace>& traces() const { return traces_; }
+
+  /// Renders an aligned text waterfall:
+  ///   index.html |############........| 0.0-82.3ms network 12.4KiB
+  std::string render_waterfall(int width = 48) const;
+
+ private:
+  std::vector<FetchTrace> traces_;
+};
+
+}  // namespace catalyst::netsim

@@ -1,0 +1,184 @@
+#include "netsim/transport.h"
+
+#include <stdexcept>
+
+namespace catalyst::netsim {
+
+Connection::Connection(Network& network, std::string client,
+                       std::string server, bool tls, Protocol protocol,
+                       bool resolve_dns)
+    : network_(network),
+      client_(std::move(client)),
+      server_(std::move(server)),
+      tls_(tls),
+      protocol_(protocol),
+      resolve_dns_(resolve_dns),
+      cwnd_(network.initial_cwnd()) {}
+
+void Connection::connect(std::function<void()> on_established) {
+  if (state_ == State::Established) {
+    network_.loop().schedule_after(Duration::zero(),
+                                   std::move(on_established));
+    return;
+  }
+  connect_waiters_.push_back(std::move(on_established));
+  if (state_ == State::Connecting) return;
+  state_ = State::Connecting;
+  // TCP handshake costs one RTT before data can flow; TLS 1.3 adds one
+  // more. Handshake packets are tiny — propagation dominates, so we charge
+  // pure RTTs.
+  const int handshake_rtts = tls_ ? 2 : 1;
+  rtts_consumed_ += handshake_rtts;
+  Duration handshake = network_.rtt(client_, server_) * handshake_rtts;
+  if (resolve_dns_) handshake += network_.dns_lookup();
+  network_.loop().schedule_after(handshake, [this] {
+    state_ = State::Established;
+    auto waiters = std::move(connect_waiters_);
+    connect_waiters_.clear();
+    for (auto& waiter : waiters) waiter();
+    pump();
+  });
+}
+
+void Connection::send_request(http::Request request,
+                              ResponseCallback on_response,
+                              PushCallback on_push,
+                              PromiseCallback on_promise,
+                              HintsCallback on_hints) {
+  queue_.push_back(PendingRequest{std::move(request), std::move(on_response),
+                                  std::move(on_push), std::move(on_promise),
+                                  std::move(on_hints)});
+  if (state_ != State::Established) {
+    connect([] {});
+    return;  // pump() runs on establishment
+  }
+  pump();
+}
+
+void Connection::pump() {
+  if (state_ != State::Established) return;
+  while (!queue_.empty()) {
+    if (protocol_ == Protocol::H1 && inflight_ > 0) return;
+    PendingRequest pending = std::move(queue_.front());
+    queue_.pop_front();
+    start_exchange(std::move(pending));
+  }
+}
+
+void Connection::start_exchange(PendingRequest pending) {
+  ++inflight_;
+  ++rtts_consumed_;  // request leg + response leg propagation
+  const ByteCount request_bytes = pending.request.wire_size();
+  bytes_sent_ += request_bytes;
+
+  // Move the request to the server, hand it to the application, then move
+  // the reply (and any pushes) back.
+  auto shared = std::make_shared<PendingRequest>(std::move(pending));
+  network_.send_bytes(client_, server_, request_bytes, [this, shared] {
+    const RequestHandler& handler = network_.host(server_).handler();
+    if (!handler) {
+      throw std::logic_error("Connection: host " + server_ +
+                             " has no request handler");
+    }
+    handler(shared->request, [this, shared](ServerReply reply) {
+      deliver_reply(std::move(reply), *shared);
+    });
+  });
+}
+
+void Connection::deliver_reply(ServerReply reply, PendingRequest& pending) {
+  ResponseCallback on_response = std::move(pending.on_response);
+  PushCallback on_push = std::move(pending.on_push);
+  PromiseCallback on_promise = std::move(pending.on_promise);
+
+  // 103 Early Hints: a ~150-byte interim response races ahead of the
+  // body (it shares the downlink, but its transmission time is
+  // negligible next to the full response).
+  if (!reply.early_hint_urls.empty() && pending.on_hints) {
+    ByteCount hint_bytes = 60;  // status line + Link header boilerplate
+    for (const std::string& url : reply.early_hint_urls) {
+      hint_bytes += url.size() + 24;
+    }
+    bytes_received_ += hint_bytes;
+    network_.send_bytes(
+        server_, client_, hint_bytes,
+        [cb = std::move(pending.on_hints),
+         urls = std::move(reply.early_hint_urls)] { cb(urls); });
+  }
+  // Server pushes: H2 only. The tiny PUSH_PROMISE frames race ahead
+  // (propagation-dominated), telling the client not to request those
+  // targets; the pushed bodies then transfer multiplexed with the main
+  // response (concurrent flows share the downlink via processor sharing).
+  if (protocol_ == Protocol::H2 && !reply.pushes.empty() && on_push) {
+    const Duration propagation = network_.one_way(server_, client_);
+    for (PushedResponse& push : reply.pushes) {
+      // PUSH_PROMISE frame: 9-octet frame header + promised stream id +
+      // a header block announcing the request (~ :path + :method).
+      const ByteCount promise_bytes = 9 + 4 + 32 + push.target.size();
+      bytes_received_ += promise_bytes + push.response.wire_size();
+      if (on_promise) {
+        network_.loop().schedule_after(
+            propagation,
+            [cb = on_promise, target = push.target] { cb(target); });
+      }
+      auto shared_push = std::make_shared<PushedResponse>(std::move(push));
+      const ByteCount push_bytes =
+          promise_bytes + shared_push->response.wire_size();
+      network_.send_bytes(
+          server_, client_, push_bytes,
+          [cb = on_push, shared_push] { cb(std::move(*shared_push)); });
+    }
+  }
+
+  const ByteCount response_bytes = reply.response.wire_size();
+  bytes_received_ += response_bytes;
+
+  // Optional TCP slow-start model: the first RTTs of a transfer run below
+  // line rate; we charge them as extra latency before the fluid transfer.
+  Duration ramp_up = Duration::zero();
+  if (network_.model_slow_start()) {
+    ramp_up = network_.rtt(client_, server_) *
+              slow_start_rounds(response_bytes);
+  }
+
+  auto shared_resp = std::make_shared<http::Response>(
+      std::move(reply.response));
+  auto transfer = [this, response_bytes, shared_resp,
+                   cb = std::move(on_response)]() mutable {
+    network_.send_bytes(server_, client_, response_bytes,
+                        [this, shared_resp, cb = std::move(cb)] {
+                          --inflight_;
+                          ++requests_completed_;
+                          cb(std::move(*shared_resp));
+                          pump();
+                        });
+  };
+  if (ramp_up > Duration::zero()) {
+    network_.loop().schedule_after(ramp_up, std::move(transfer));
+  } else {
+    transfer();
+  }
+}
+
+int Connection::slow_start_rounds(ByteCount bytes) {
+  // Bandwidth-delay product caps the useful window.
+  const Duration rtt = network_.rtt(client_, server_);
+  const double bdp_bytes =
+      network_.host(client_).downlink().capacity().bytes_per_second() *
+      to_seconds(rtt);
+  const ByteCount cap = std::max<ByteCount>(
+      network_.initial_cwnd(), static_cast<ByteCount>(bdp_bytes));
+  int rounds = 0;
+  ByteCount sent = 0;
+  ByteCount window = cwnd_;
+  while (sent + window < bytes && window < cap) {
+    sent += window;
+    window = std::min<ByteCount>(window * 2, cap);
+    ++rounds;
+  }
+  cwnd_ = window;
+  rtts_consumed_ += rounds;
+  return rounds;
+}
+
+}  // namespace catalyst::netsim

@@ -1,0 +1,187 @@
+#include "server/catalyst_module.h"
+
+#include <algorithm>
+
+#include "html/css.h"
+#include "html/generate.h"
+#include "html/link_extract.h"
+#include "html/parser.h"
+#include "util/strings.h"
+#include "util/url.h"
+
+namespace catalyst::server {
+
+namespace {
+
+/// The registration snippet injected before </body> (byte-for-byte what a
+/// real deployment would add, so its size cost is realistic).
+std::string registration_snippet() {
+  return std::string("<script>if('serviceWorker' in navigator)"
+                     "navigator.serviceWorker.register('") +
+         std::string(CatalystModule::kSwPath) + "');</script>";
+}
+
+}  // namespace
+
+std::string resolve_same_origin(const std::string& site_host,
+                                const std::string& base_path,
+                                const std::string& url) {
+  const auto parsed = Url::parse(url);
+  if (!parsed) return {};
+  if (parsed->is_absolute() || !parsed->host.empty()) {
+    if (parsed->host != site_host) return {};  // cross-origin: future work
+    return parsed->path;
+  }
+  Url base;
+  base.scheme = "https";
+  base.host = site_host;
+  base.path = base_path;
+  return base.resolve(*parsed).path;
+}
+
+CatalystModule::CatalystModule(const Site& site, CatalystConfig config)
+    : site_(site), config_(config) {}
+
+const std::vector<std::string>& CatalystModule::extract_links(
+    const Resource& resource, TimePoint now, Duration& cost_accum) {
+  const std::string key =
+      resource.path() + "#" + std::to_string(resource.version_at(now));
+  if (config_.memoize_scans) {
+    if (const auto it = scan_memo_.find(key); it != scan_memo_.end()) {
+      ++stats_.scan_memo_hits;
+      return it->second;
+    }
+  }
+  ++stats_.scans_performed;
+  const std::string& content = resource.content_at(now);
+  cost_accum += seconds_f(to_seconds(config_.scan_cost_per_kib) *
+                          (static_cast<double>(content.size()) / 1024.0));
+
+  std::vector<std::string> links;
+  if (resource.resource_class() == http::ResourceClass::Html) {
+    const auto document = html::parse(content);
+    for (const html::DiscoveredResource& dr :
+         html::extract_resources(*document)) {
+      std::string path =
+          resolve_same_origin(site_.host(), resource.path(), dr.url);
+      if (!path.empty()) links.push_back(std::move(path));
+    }
+  } else if (resource.resource_class() == http::ResourceClass::Css) {
+    for (const html::CssReference& ref :
+         html::extract_css_references(content)) {
+      std::string path =
+          resolve_same_origin(site_.host(), resource.path(), ref.url);
+      if (!path.empty()) links.push_back(std::move(path));
+    }
+  }
+  // Deduplicate, preserving first-seen order.
+  std::vector<std::string> unique;
+  for (std::string& link : links) {
+    if (std::find(unique.begin(), unique.end(), link) == unique.end()) {
+      unique.push_back(std::move(link));
+    }
+  }
+  // Always store (storage doubles as the return buffer); the memoize flag
+  // only controls whether stored results are *reused* above.
+  std::vector<std::string>& slot = scan_memo_[key];
+  slot = std::move(unique);
+  return slot;
+}
+
+std::vector<std::string> CatalystModule::linked_paths(
+    const Resource& resource, TimePoint now) {
+  Duration ignored = Duration::zero();
+  std::vector<std::string> result = extract_links(resource, now, ignored);
+  if (!config_.css_closure) return result;
+
+  // Follow CSS resources (including @imports of @imports) breadth-first.
+  std::vector<std::string> frontier = result;
+  while (!frontier.empty()) {
+    std::vector<std::string> next;
+    for (const std::string& path : frontier) {
+      const Resource* linked = site_.find(path);
+      if (linked == nullptr ||
+          linked->resource_class() != http::ResourceClass::Css) {
+        continue;
+      }
+      for (const std::string& sub : extract_links(*linked, now, ignored)) {
+        if (std::find(result.begin(), result.end(), sub) == result.end()) {
+          result.push_back(sub);
+          next.push_back(sub);
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  return result;
+}
+
+http::EtagConfig CatalystModule::build_map(
+    const Resource& html, TimePoint now,
+    const std::vector<std::string>& learned_urls) {
+  http::EtagConfig map;
+  for (const std::string& path : linked_paths(html, now)) {
+    if (const Resource* resource = site_.find(path)) {
+      map.add(path, resource->etag_at(now));
+    }
+  }
+  if (config_.session_learning) {
+    for (const std::string& url : learned_urls) {
+      const std::string path =
+          resolve_same_origin(site_.host(), html.path(), url);
+      if (path.empty() || map.find(path)) continue;
+      if (const Resource* resource = site_.find(path)) {
+        map.add(path, resource->etag_at(now));
+      }
+    }
+  }
+  ++stats_.maps_built;
+  return map;
+}
+
+Duration CatalystModule::decorate_html(
+    const http::Request& request, http::Response& response,
+    const Resource& html, TimePoint now,
+    const std::vector<std::string>& learned_urls) {
+  (void)request;
+  Duration cost = Duration::zero();
+  // Charge the scan cost through extract_links' accumulator by running the
+  // closure with cost tracking: first the HTML itself, then CSS children.
+  extract_links(html, now, cost);
+  const http::EtagConfig map = build_map(html, now, learned_urls);
+  response.headers.set(http::kXEtagConfig, map.encode());
+  stats_.map_header_bytes += map.header_wire_size();
+
+  if (response.status == http::Status::Ok) {
+    const std::string snippet = registration_snippet();
+    const auto pos = response.body.rfind("</body>");
+    if (pos != std::string::npos) {
+      response.body.insert(pos, snippet);
+    } else {
+      response.body += snippet;
+    }
+    if (response.declared_body_size > 0) {
+      response.declared_body_size += snippet.size();
+    }
+    response.finalize(now);  // refresh Content-Length
+  }
+  // Map assembly cost: one ETag lookup per entry (~100ns each, modeled).
+  cost += nanoseconds(static_cast<std::int64_t>(100 * map.size()));
+  return cost;
+}
+
+http::Response CatalystModule::serve_sw_script(TimePoint now) const {
+  http::Response resp = http::Response::make(http::Status::Ok);
+  resp.body = html::make_js({}, config_.sw_script_size, /*seed=*/0xCC57);
+  resp.headers.set(http::kContentType,
+                   http::mime_type(http::ResourceClass::Script));
+  // The SW script itself revalidates (browsers special-case SW updates).
+  resp.headers.set(http::kCacheControl,
+                   http::CacheControl::revalidate_always().to_string());
+  resp.headers.set(http::kEtagHeader,
+                   http::make_content_etag(resp.body).to_string());
+  resp.finalize(now);
+  return resp;
+}
+
+}  // namespace catalyst::server

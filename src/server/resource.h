@@ -1,0 +1,75 @@
+// A versioned origin resource: content generator + change process +
+// cache-header policy.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "http/cache_control.h"
+#include "http/etag.h"
+#include "http/mime.h"
+#include "server/change_model.h"
+#include "util/types.h"
+
+namespace catalyst::server {
+
+/// Produces the resource's body text for a given content version. Output
+/// must differ between versions (the version is typically salted in).
+using ContentGenerator = std::function<std::string(std::uint64_t version)>;
+
+class Resource {
+ public:
+  Resource(std::string path, http::ResourceClass resource_class,
+           ByteCount wire_size, ContentGenerator generator,
+           ChangeProcess changes, http::CacheControl cache_policy);
+
+  const std::string& path() const { return path_; }
+  http::ResourceClass resource_class() const { return class_; }
+
+  /// Declared size on the wire. For text classes (html/css/js) this equals
+  /// the generated content size; for opaque classes (img/font) the
+  /// generated content is a small stand-in and this declared size rules.
+  ByteCount wire_size() const { return wire_size_; }
+
+  const http::CacheControl& cache_policy() const { return cache_policy_; }
+  void set_cache_policy(http::CacheControl policy) {
+    cache_policy_ = std::move(policy);
+  }
+
+  const ChangeProcess& changes() const { return changes_; }
+
+  std::uint64_t version_at(TimePoint t) const {
+    return changes_.version_at(t);
+  }
+
+  /// Body content at time t (memoized per version).
+  const std::string& content_at(TimePoint t) const;
+
+  /// Entity tag at time t (derived from content, memoized per version).
+  const http::Etag& etag_at(TimePoint t) const;
+
+  /// Last-Modified instant at time t.
+  TimePoint last_modified_at(TimePoint t) const {
+    return changes_.last_change_at(t);
+  }
+
+ private:
+  struct VersionData {
+    std::string content;
+    http::Etag etag;
+  };
+
+  const VersionData& materialize(std::uint64_t version) const;
+
+  std::string path_;
+  http::ResourceClass class_;
+  ByteCount wire_size_;
+  ContentGenerator generator_;
+  ChangeProcess changes_;
+  http::CacheControl cache_policy_;
+  mutable std::unordered_map<std::uint64_t, VersionData> versions_;
+};
+
+}  // namespace catalyst::server

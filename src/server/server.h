@@ -1,0 +1,77 @@
+// The origin web server: binds a Site to a simulated network host and
+// composes the static handler with the optional CacheCatalyst and
+// Server-Push modules — the stand-in for the paper's modified Caddy.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "netsim/network.h"
+#include "server/catalyst_module.h"
+#include "server/push_module.h"
+#include "server/session.h"
+#include "server/site.h"
+#include "server/static_handler.h"
+
+namespace catalyst::server {
+
+struct ServerConfig {
+  /// Baseline request handling time (accept/parse/route/IO).
+  Duration processing_delay = microseconds(500);
+
+  bool enable_catalyst = false;
+  CatalystConfig catalyst;
+
+  PushPolicy push_policy = PushPolicy::None;
+
+  /// Send 103 Early Hints with Link rel=preload targets (the static link
+  /// closure) ahead of base-HTML responses.
+  bool early_hints = false;
+
+  /// Record per-session fetch logs (needed by catalyst session learning
+  /// and the Learned push policy).
+  bool track_sessions = false;
+};
+
+struct ServerStats {
+  std::uint64_t requests = 0;
+  std::uint64_t html_serves = 0;
+  Duration catalyst_compute = Duration::zero();
+};
+
+class Server {
+ public:
+  /// Registers `site.host()` on the network and installs the handler.
+  /// The host must already exist in the network.
+  Server(netsim::Network& network, std::shared_ptr<Site> site,
+         ServerConfig config);
+
+  const Site& site() const { return *site_; }
+  const ServerConfig& config() const { return config_; }
+  const ServerStats& stats() const { return stats_; }
+  const StaticHandlerStats& handler_stats() const {
+    return handler_.stats();
+  }
+  const CatalystModuleStats* catalyst_stats() const {
+    return catalyst_ ? &catalyst_->stats() : nullptr;
+  }
+  ByteCount bytes_pushed() const {
+    return push_ ? push_->bytes_pushed() : 0;
+  }
+  SessionStore& sessions() { return sessions_; }
+
+ private:
+  void handle(const http::Request& request,
+              std::function<void(netsim::ServerReply)> respond);
+
+  netsim::Network& network_;
+  std::shared_ptr<Site> site_;
+  ServerConfig config_;
+  StaticHandler handler_;
+  std::unique_ptr<CatalystModule> catalyst_;
+  std::unique_ptr<PushModule> push_;
+  SessionStore sessions_;
+  ServerStats stats_;
+};
+
+}  // namespace catalyst::server

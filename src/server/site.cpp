@@ -1,0 +1,34 @@
+#include "server/site.h"
+
+#include <stdexcept>
+
+namespace catalyst::server {
+
+Resource& Site::add_resource(std::unique_ptr<Resource> resource) {
+  const std::string path = resource->path();
+  auto [it, inserted] = resources_.emplace(path, std::move(resource));
+  if (!inserted) {
+    throw std::invalid_argument("Site: duplicate resource " + path);
+  }
+  return *it->second;
+}
+
+const Resource* Site::find(const std::string& path) const {
+  const auto it = resources_.find(path);
+  return it == resources_.end() ? nullptr : it->second.get();
+}
+
+Resource* Site::find(const std::string& path) {
+  const auto it = resources_.find(path);
+  return it == resources_.end() ? nullptr : it->second.get();
+}
+
+ByteCount Site::total_bytes() const {
+  ByteCount total = 0;
+  for (const auto& [path, resource] : resources_) {
+    total += resource->wire_size();
+  }
+  return total;
+}
+
+}  // namespace catalyst::server

@@ -1,0 +1,47 @@
+// A virtual website: a host name plus its resource tree.
+//
+// The workload generator assembles Sites whose HTML/CSS/JS bodies really
+// reference each other; the same Site object backs every strategy's origin
+// server so comparisons are apples-to-apples.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "server/resource.h"
+
+namespace catalyst::server {
+
+class Site {
+ public:
+  explicit Site(std::string host) : host_(std::move(host)) {}
+
+  const std::string& host() const { return host_; }
+
+  /// The page entry point ("/" or "/index.html").
+  const std::string& index_path() const { return index_path_; }
+  void set_index_path(std::string path) { index_path_ = std::move(path); }
+
+  Resource& add_resource(std::unique_ptr<Resource> resource);
+
+  /// nullptr when the path is unknown.
+  const Resource* find(const std::string& path) const;
+  Resource* find(const std::string& path);
+
+  const std::map<std::string, std::unique_ptr<Resource>>& resources() const {
+    return resources_;
+  }
+  std::size_t resource_count() const { return resources_.size(); }
+
+  /// Total declared wire size of all resources (page weight).
+  ByteCount total_bytes() const;
+
+ private:
+  std::string host_;
+  std::string index_path_ = "/index.html";
+  std::map<std::string, std::unique_ptr<Resource>> resources_;
+};
+
+}  // namespace catalyst::server

@@ -1,0 +1,68 @@
+#include "server/static_handler.h"
+
+#include "http/date.h"
+
+namespace catalyst::server {
+
+namespace {
+
+/// Strips the query string: the virtual filesystem is keyed by path.
+std::string path_of(const std::string& target) {
+  const auto q = target.find('?');
+  return q == std::string::npos ? target : target.substr(0, q);
+}
+
+}  // namespace
+
+http::Response StaticHandler::handle(const http::Request& request,
+                                     TimePoint now) {
+  ++stats_.requests;
+  const Resource* resource = site_.find(path_of(request.target));
+  if (resource == nullptr) {
+    ++stats_.not_found;
+    http::Response resp = http::Response::make(http::Status::NotFound);
+    resp.body = "not found";
+    resp.finalize(now);
+    return resp;
+  }
+
+  const http::Etag& etag = resource->etag_at(now);
+  const TimePoint last_modified = resource->last_modified_at(now);
+
+  // Cache-related headers every response variant carries.
+  http::Headers cache_headers;
+  const std::string cc = resource->cache_policy().to_string();
+  if (!cc.empty()) cache_headers.set(http::kCacheControl, cc);
+  cache_headers.set(http::kLastModified,
+                    http::format_http_date(last_modified));
+
+  const http::ConditionalOutcome outcome = http::evaluate_conditional(
+      request, etag, last_modified);
+  if (outcome == http::ConditionalOutcome::NotModified) {
+    ++stats_.not_modified;
+    http::Response resp = http::make_not_modified(etag, cache_headers);
+    resp.finalize(now);
+    // 304 carries no body; Content-Length: 0 is implied.
+    resp.headers.remove(http::kContentLength);
+    return resp;
+  }
+
+  ++stats_.full_responses;
+  http::Response resp = http::Response::make(http::Status::Ok);
+  resp.body = resource->content_at(now);
+  // Opaque classes declare a larger wire size than the stand-in content.
+  if (resource->wire_size() > resp.body.size()) {
+    resp.declared_body_size = resource->wire_size();
+  }
+  resp.headers.set(http::kContentType,
+                   http::mime_type(resource->resource_class()));
+  resp.headers.set(http::kEtagHeader, etag.to_string());
+  for (const auto& field : cache_headers.fields()) {
+    resp.headers.set(field.name, field.value);
+  }
+  resp.finalize(now);
+  stats_.body_bytes_sent += resp.body_wire_size();
+  return resp;
+}
+
+}  // namespace catalyst::server

@@ -1,0 +1,95 @@
+#include "util/base64.h"
+
+#include <array>
+#include <cstdint>
+
+namespace catalyst {
+
+namespace {
+
+constexpr char kAlphabet[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+constexpr std::array<std::int8_t, 256> build_reverse() {
+  std::array<std::int8_t, 256> table{};
+  for (auto& v : table) v = -1;
+  for (int i = 0; i < 64; ++i) {
+    table[static_cast<unsigned char>(kAlphabet[i])] =
+        static_cast<std::int8_t>(i);
+  }
+  return table;
+}
+
+constexpr std::array<std::int8_t, 256> kReverse = build_reverse();
+
+}  // namespace
+
+std::string base64_encode(std::string_view data) {
+  std::string out;
+  out.reserve((data.size() + 2) / 3 * 4);
+  std::size_t i = 0;
+  while (i + 3 <= data.size()) {
+    const std::uint32_t n =
+        (static_cast<std::uint32_t>(static_cast<unsigned char>(data[i]))
+         << 16) |
+        (static_cast<std::uint32_t>(static_cast<unsigned char>(data[i + 1]))
+         << 8) |
+        static_cast<std::uint32_t>(static_cast<unsigned char>(data[i + 2]));
+    out.push_back(kAlphabet[(n >> 18) & 63]);
+    out.push_back(kAlphabet[(n >> 12) & 63]);
+    out.push_back(kAlphabet[(n >> 6) & 63]);
+    out.push_back(kAlphabet[n & 63]);
+    i += 3;
+  }
+  const std::size_t rest = data.size() - i;
+  if (rest == 1) {
+    const std::uint32_t n =
+        static_cast<std::uint32_t>(static_cast<unsigned char>(data[i]))
+        << 16;
+    out.push_back(kAlphabet[(n >> 18) & 63]);
+    out.push_back(kAlphabet[(n >> 12) & 63]);
+    out.append("==");
+  } else if (rest == 2) {
+    const std::uint32_t n =
+        (static_cast<std::uint32_t>(static_cast<unsigned char>(data[i]))
+         << 16) |
+        (static_cast<std::uint32_t>(static_cast<unsigned char>(data[i + 1]))
+         << 8);
+    out.push_back(kAlphabet[(n >> 18) & 63]);
+    out.push_back(kAlphabet[(n >> 12) & 63]);
+    out.push_back(kAlphabet[(n >> 6) & 63]);
+    out.push_back('=');
+  }
+  return out;
+}
+
+std::optional<std::string> base64_decode(std::string_view text) {
+  if (text.size() % 4 != 0) return std::nullopt;
+  std::string out;
+  out.reserve(text.size() / 4 * 3);
+  for (std::size_t i = 0; i < text.size(); i += 4) {
+    int pad = 0;
+    std::uint32_t n = 0;
+    for (int k = 0; k < 4; ++k) {
+      const char c = text[i + k];
+      if (c == '=') {
+        // Padding only allowed in the final two positions of the final
+        // quantum.
+        if (i + 4 != text.size() || k < 2) return std::nullopt;
+        ++pad;
+        n <<= 6;
+        continue;
+      }
+      if (pad > 0) return std::nullopt;  // data after padding
+      const std::int8_t v = kReverse[static_cast<unsigned char>(c)];
+      if (v < 0) return std::nullopt;
+      n = (n << 6) | static_cast<std::uint32_t>(v);
+    }
+    out.push_back(static_cast<char>((n >> 16) & 0xFF));
+    if (pad < 2) out.push_back(static_cast<char>((n >> 8) & 0xFF));
+    if (pad < 1) out.push_back(static_cast<char>(n & 0xFF));
+  }
+  return out;
+}
+
+}  // namespace catalyst

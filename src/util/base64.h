@@ -1,0 +1,17 @@
+// Base64 encoding (RFC 4648) — used to carry binary cache digests in
+// HTTP header fields.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace catalyst {
+
+/// Standard base64 with padding.
+std::string base64_encode(std::string_view data);
+
+/// Strict decode; nullopt on invalid characters or bad padding.
+std::optional<std::string> base64_decode(std::string_view text);
+
+}  // namespace catalyst

@@ -1,0 +1,60 @@
+// Leveled logging for the simulator.
+//
+// Logging defaults to Warn so tests and benches stay quiet; examples turn on
+// Info/Debug to show waterfall-style traces. Output goes to stderr so bench
+// tables on stdout stay machine-readable.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace catalyst {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Process-wide minimum level; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits one log line (adds level prefix and newline).
+void log_message(LogLevel level, std::string_view component,
+                 std::string_view message);
+
+/// Stream-style helper: Logger("netsim").info() << "flow done";
+class Logger {
+ public:
+  explicit Logger(std::string component) : component_(std::move(component)) {}
+
+  class Line {
+   public:
+    Line(LogLevel level, std::string_view component)
+        : level_(level), component_(component) {}
+    Line(const Line&) = delete;
+    Line& operator=(const Line&) = delete;
+    ~Line() {
+      if (level_ >= log_level()) log_message(level_, component_, out_.str());
+    }
+
+    template <typename T>
+    Line& operator<<(const T& value) {
+      if (level_ >= log_level()) out_ << value;
+      return *this;
+    }
+
+   private:
+    LogLevel level_;
+    std::string_view component_;
+    std::ostringstream out_;
+  };
+
+  Line debug() const { return Line(LogLevel::Debug, component_); }
+  Line info() const { return Line(LogLevel::Info, component_); }
+  Line warn() const { return Line(LogLevel::Warn, component_); }
+  Line error() const { return Line(LogLevel::Error, component_); }
+
+ private:
+  std::string component_;
+};
+
+}  // namespace catalyst

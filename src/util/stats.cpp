@@ -1,0 +1,110 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace catalyst {
+
+void Summary::add(double x) {
+  samples_.push_back(x);
+  sorted_valid_ = false;
+}
+
+void Summary::add_all(const std::vector<double>& xs) {
+  samples_.insert(samples_.end(), xs.begin(), xs.end());
+  sorted_valid_ = false;
+}
+
+double Summary::sum() const {
+  double s = 0.0;
+  for (double x : samples_) s += x;
+  return s;
+}
+
+double Summary::mean() const {
+  if (samples_.empty()) throw std::logic_error("Summary: empty");
+  return sum() / static_cast<double>(samples_.size());
+}
+
+double Summary::min() const {
+  if (samples_.empty()) throw std::logic_error("Summary: empty");
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double Summary::max() const {
+  if (samples_.empty()) throw std::logic_error("Summary: empty");
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double Summary::stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0.0;
+  for (double x : samples_) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+}
+
+double Summary::ci95_halfwidth() const {
+  if (samples_.size() < 2) return 0.0;
+  return 1.96 * stddev() / std::sqrt(static_cast<double>(samples_.size()));
+}
+
+void Summary::ensure_sorted() const {
+  if (!sorted_valid_) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+}
+
+double Summary::median() const { return percentile(50.0); }
+
+double Summary::percentile(double p) const {
+  if (samples_.empty()) throw std::logic_error("Summary: empty");
+  ensure_sorted();
+  if (p <= 0.0) return sorted_.front();
+  if (p >= 100.0) return sorted_.back();
+  const double rank = p / 100.0 * static_cast<double>(sorted_.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(std::floor(rank));
+  const std::size_t hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  if (bins == 0 || hi <= lo) {
+    throw std::invalid_argument("Histogram: bad range or zero bins");
+  }
+}
+
+void Histogram::add(double x) {
+  const double t = (x - lo_) / (hi_ - lo_);
+  auto bin = static_cast<std::ptrdiff_t>(
+      t * static_cast<double>(counts_.size()));
+  bin = std::clamp<std::ptrdiff_t>(
+      bin, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+std::string Histogram::sparkline() const {
+  static const char* kBlocks[] = {" ", "▁", "▂", "▃",
+                                  "▄", "▅", "▆", "▇",
+                                  "█"};
+  std::size_t peak = 0;
+  for (std::size_t c : counts_) peak = std::max(peak, c);
+  std::string out;
+  for (std::size_t c : counts_) {
+    if (peak == 0) {
+      out += kBlocks[0];
+    } else {
+      const std::size_t level = (c * 8 + peak - 1) / peak;  // ceil, 0..8
+      out += kBlocks[std::min<std::size_t>(level, 8)];
+    }
+  }
+  return out;
+}
+
+}  // namespace catalyst

@@ -1,0 +1,66 @@
+// Descriptive statistics for experiment aggregation.
+//
+// Figure 3 reports *average* PLT reduction over sites and revisit delays;
+// we additionally report medians, percentiles and 95% confidence intervals
+// so the benches can show how tight the averages are.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace catalyst {
+
+/// Accumulates samples; computes summary statistics on demand.
+class Summary {
+ public:
+  void add(double x);
+  void add_all(const std::vector<double>& xs);
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  double sum() const;
+  double mean() const;
+  double min() const;
+  double max() const;
+  /// Sample standard deviation (n-1 denominator); 0 for n < 2.
+  double stddev() const;
+  /// Half-width of the normal-approximation 95% confidence interval.
+  double ci95_halfwidth() const;
+  double median() const;
+  /// Linear-interpolation percentile, p in [0, 100].
+  double percentile(double p) const;
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  void ensure_sorted() const;
+
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+};
+
+/// Fixed-bin histogram over [lo, hi); out-of-range samples clamp to the
+/// first/last bin. Used for console sparkline rendering in benches.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t bin_count() const { return counts_.size(); }
+  std::size_t count(std::size_t bin) const { return counts_.at(bin); }
+  std::size_t total() const { return total_; }
+
+  /// One-line unicode block rendering ("▁▃▇█▅▂  ").
+  std::string sparkline() const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace catalyst

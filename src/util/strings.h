@@ -1,0 +1,58 @@
+// Small ASCII string helpers shared across the HTTP / HTML layers.
+//
+// HTTP header names and HTML tag names are ASCII-case-insensitive, so all
+// case folding here is deliberately ASCII-only (locale-independent).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace catalyst {
+
+constexpr char ascii_tolower(char c) {
+  return (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
+}
+
+constexpr bool ascii_isspace(char c) {
+  return c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == '\f';
+}
+
+constexpr bool ascii_isdigit(char c) { return c >= '0' && c <= '9'; }
+
+constexpr bool ascii_isalpha(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z');
+}
+
+/// Lowercases an ASCII string.
+std::string to_lower(std::string_view s);
+
+/// Case-insensitive ASCII equality.
+bool iequals(std::string_view a, std::string_view b);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view trim(std::string_view s);
+
+/// Splits on a single delimiter character; keeps empty pieces.
+std::vector<std::string_view> split(std::string_view s, char delim);
+
+/// True if `s` begins with / ends with the given prefix/suffix.
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+
+/// Case-insensitive variant of starts_with.
+bool istarts_with(std::string_view s, std::string_view prefix);
+
+/// Parses a non-negative decimal integer; returns false on any non-digit,
+/// overflow, or empty input.
+bool parse_u64(std::string_view s, std::uint64_t& out);
+
+/// printf-style formatting into a std::string.
+std::string str_format(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Joins pieces with a separator.
+std::string join(const std::vector<std::string>& pieces,
+                 std::string_view sep);
+
+}  // namespace catalyst

@@ -1,0 +1,108 @@
+#include "util/table.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace catalyst {
+
+namespace {
+
+/// Display width: counts UTF-8 code points, not bytes, so box alignment
+/// survives unicode cell content (e.g. sparklines, "±").
+std::size_t display_width(const std::string& s) {
+  std::size_t w = 0;
+  for (char c : s) {
+    if ((static_cast<unsigned char>(c) & 0xC0) != 0x80) ++w;
+  }
+  return w;
+}
+
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  bool digit_seen = false;
+  for (char c : s) {
+    if (ascii_isdigit(c)) {
+      digit_seen = true;
+    } else if (c != '.' && c != '-' && c != '+' && c != '%' && c != ' ' &&
+               c != 'x' && c != 'e') {
+      return false;
+    }
+  }
+  return digit_seen;
+}
+
+std::string pad(const std::string& s, std::size_t width, bool right_align) {
+  const std::size_t w = display_width(s);
+  if (w >= width) return s;
+  const std::string fill(width - w, ' ');
+  return right_align ? fill + s : s + fill;
+}
+
+}  // namespace
+
+void Table::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  if (row.size() != header_.size()) {
+    throw std::invalid_argument("Table: row/header column count mismatch");
+  }
+  rows_.push_back(std::move(row));
+}
+
+void Table::add_separator() { rows_.emplace_back(); }
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = display_width(header_[c]);
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], display_width(row[c]));
+    }
+  }
+
+  auto rule = [&](const char* left, const char* mid, const char* right) {
+    std::string out = left;
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      for (std::size_t i = 0; i < widths[c] + 2; ++i) out += "─";
+      out += (c + 1 == widths.size()) ? right : mid;
+    }
+    out += "\n";
+    return out;
+  };
+
+  std::string out;
+  if (!title_.empty()) out += title_ + "\n";
+  out += rule("┌", "┬", "┐");
+  out += "│";
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    out += " " + pad(header_[c], widths[c], false) + " │";
+  }
+  out += "\n";
+  out += rule("├", "┼", "┤");
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      out += rule("├", "┼", "┤");
+      continue;
+    }
+    out += "│";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out += " " + pad(row[c], widths[c], looks_numeric(row[c])) + " │";
+    }
+    out += "\n";
+  }
+  out += rule("└", "┴", "┘");
+  return out;
+}
+
+void Table::print() const {
+  const std::string text = render();
+  std::fwrite(text.data(), 1, text.size(), stdout);
+}
+
+}  // namespace catalyst

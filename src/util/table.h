@@ -1,0 +1,38 @@
+// Console table rendering for paper-style bench output.
+//
+// Every bench binary prints its table/figure in the same aligned format so
+// EXPERIMENTS.md can quote them verbatim.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace catalyst {
+
+/// Column-aligned text table with a title, a header row and data rows.
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  /// Sets the header row; number of columns is fixed by it.
+  void set_header(std::vector<std::string> header);
+
+  /// Adds a data row; must match the header's column count.
+  void add_row(std::vector<std::string> row);
+
+  /// Inserts a horizontal separator before the next added row.
+  void add_separator();
+
+  /// Renders with unicode box-drawing. Numeric-looking cells right-align.
+  std::string render() const;
+
+  /// Renders and writes to stdout.
+  void print() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty row == separator
+};
+
+}  // namespace catalyst

@@ -1,0 +1,47 @@
+#include "util/types.h"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace catalyst {
+
+std::string format_duration(Duration d) {
+  const double ns = static_cast<double>(d.count());
+  std::array<char, 48> buf{};
+  if (std::abs(ns) < 1e3) {
+    std::snprintf(buf.data(), buf.size(), "%.0f ns", ns);
+  } else if (std::abs(ns) < 1e6) {
+    std::snprintf(buf.data(), buf.size(), "%.1f us", ns / 1e3);
+  } else if (std::abs(ns) < 1e9) {
+    std::snprintf(buf.data(), buf.size(), "%.1f ms", ns / 1e6);
+  } else if (std::abs(ns) < 120e9) {
+    std::snprintf(buf.data(), buf.size(), "%.2f s", ns / 1e9);
+  } else if (std::abs(ns) < 2 * 3600e9) {
+    std::snprintf(buf.data(), buf.size(), "%.0f min", ns / 60e9);
+  } else if (std::abs(ns) < 48 * 3600e9) {
+    std::snprintf(buf.data(), buf.size(), "%.0f h", ns / 3600e9);
+  } else {
+    std::snprintf(buf.data(), buf.size(), "%.0f d", ns / 86400e9);
+  }
+  return buf.data();
+}
+
+std::string format_bytes(ByteCount n) {
+  std::array<char, 48> buf{};
+  const double b = static_cast<double>(n);
+  if (n < 1024) {
+    std::snprintf(buf.data(), buf.size(), "%llu B",
+                  static_cast<unsigned long long>(n));
+  } else if (n < 1024 * 1024) {
+    std::snprintf(buf.data(), buf.size(), "%.1f KiB", b / 1024.0);
+  } else if (n < 1024ull * 1024 * 1024) {
+    std::snprintf(buf.data(), buf.size(), "%.2f MiB", b / (1024.0 * 1024.0));
+  } else {
+    std::snprintf(buf.data(), buf.size(), "%.2f GiB",
+                  b / (1024.0 * 1024.0 * 1024.0));
+  }
+  return buf.data();
+}
+
+}  // namespace catalyst

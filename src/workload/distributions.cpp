@@ -1,0 +1,80 @@
+#include "workload/distributions.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace catalyst::workload {
+
+namespace {
+
+ByteCount clamp_size(double bytes, ByteCount lo, ByteCount hi) {
+  const double clamped =
+      std::clamp(bytes, static_cast<double>(lo), static_cast<double>(hi));
+  return static_cast<ByteCount>(clamped);
+}
+
+}  // namespace
+
+ByteCount draw_size(http::ResourceClass resource_class, Rng& rng) {
+  switch (resource_class) {
+    case http::ResourceClass::Html:
+      // Homepages: tens of KB of markup.
+      return clamp_size(rng.lognormal(std::log(45e3), 0.5), KiB(8),
+                        KiB(300));
+    case http::ResourceClass::Css:
+      return clamp_size(rng.lognormal(std::log(20e3), 0.8), KiB(2),
+                        KiB(200));
+    case http::ResourceClass::Script:
+      return clamp_size(rng.lognormal(std::log(35e3), 0.9), KiB(2),
+                        KiB(400));
+    case http::ResourceClass::Image:
+      // Heavy tail: a few hero images dominate page weight.
+      return clamp_size(rng.lognormal(std::log(18e3), 1.1), 500,
+                        MiB(1));
+    case http::ResourceClass::Font:
+      return clamp_size(rng.lognormal(std::log(30e3), 0.4), KiB(10),
+                        KiB(120));
+    case http::ResourceClass::Json:
+      return clamp_size(rng.lognormal(std::log(3e3), 0.8), 200, KiB(64));
+    case http::ResourceClass::Other:
+      return clamp_size(rng.lognormal(std::log(8e3), 1.0), 200, KiB(256));
+  }
+  return KiB(8);
+}
+
+Duration draw_change_interval(http::ResourceClass resource_class,
+                              Rng& rng) {
+  switch (resource_class) {
+    case http::ResourceClass::Html:
+      // Homepages churn: minutes to a day.
+      return seconds_f(rng.lognormal(std::log(6.0 * 3600), 1.0));
+    case http::ResourceClass::Css:
+    case http::ResourceClass::Script:
+      // Mostly stable deploy artifacts; ~35% effectively immutable, a
+      // small fast-churn tail (A/B configs, live bundles).
+      if (rng.bernoulli(0.35)) return Duration::zero();
+      if (rng.bernoulli(0.16)) {
+        return seconds_f(rng.lognormal(std::log(4.0 * 3600), 0.8));
+      }
+      return seconds_f(rng.lognormal(std::log(20.0 * 86400), 1.0));
+    case http::ResourceClass::Image:
+      // Most images never change; some rotate with content, a few churn
+      // within hours (hero/campaign rotations).
+      if (rng.bernoulli(0.6)) return Duration::zero();
+      if (rng.bernoulli(0.16)) {
+        return seconds_f(rng.lognormal(std::log(8.0 * 3600), 0.8));
+      }
+      return seconds_f(rng.lognormal(std::log(7.0 * 86400), 1.2));
+    case http::ResourceClass::Font:
+      return Duration::zero();
+    case http::ResourceClass::Json:
+      // Dynamic payloads: seconds to hours.
+      return seconds_f(rng.lognormal(std::log(600.0), 1.5));
+    case http::ResourceClass::Other:
+      if (rng.bernoulli(0.5)) return Duration::zero();
+      return seconds_f(rng.lognormal(std::log(10.0 * 86400), 1.0));
+  }
+  return Duration::zero();
+}
+
+}  // namespace catalyst::workload

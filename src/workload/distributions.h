@@ -1,0 +1,23 @@
+// Calibrated distributions for synthetic page composition.
+//
+// Targets (httparchive "State of the Web" 2024, cited by the paper §2.2):
+// pages carry on the order of a hundred resources totalling ~2.5 MB, with
+// KB-scale medians and heavy upper tails — small enough that download time
+// is comparable to an RTT, which is the regime the paper's argument needs.
+#pragma once
+
+#include "http/mime.h"
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace catalyst::workload {
+
+/// Draws a resource body size for a class (lognormal with class-specific
+/// location/shape, clamped to sane bounds).
+ByteCount draw_size(http::ResourceClass resource_class, Rng& rng);
+
+/// Draws the mean content-change interval for a class. Duration::zero()
+/// means the resource effectively never changes (versioned assets).
+Duration draw_change_interval(http::ResourceClass resource_class, Rng& rng);
+
+}  // namespace catalyst::workload

@@ -1,0 +1,50 @@
+#include "workload/profiles.h"
+
+namespace catalyst::workload {
+
+std::string_view to_string(PageArchetype archetype) {
+  switch (archetype) {
+    case PageArchetype::News:
+      return "news";
+    case PageArchetype::Commerce:
+      return "commerce";
+    case PageArchetype::Video:
+      return "video";
+    case PageArchetype::SocialApp:
+      return "social-app";
+    case PageArchetype::Docs:
+      return "docs";
+  }
+  return "?";
+}
+
+PageComposition composition_for(PageArchetype archetype) {
+  switch (archetype) {
+    case PageArchetype::News:
+      // Image- and ad-script-heavy.
+      return PageComposition{3, 6, 12, 24, 35, 70, 2, 4, 3, 8, 2, 0.35};
+    case PageArchetype::Commerce:
+      return PageComposition{3, 5, 10, 20, 25, 55, 2, 3, 3, 6, 2, 0.30};
+    case PageArchetype::Video:
+      // Fewer images, heavier scripts and dynamic JSON.
+      return PageComposition{2, 4, 10, 18, 10, 25, 1, 2, 4, 9, 3, 0.40};
+    case PageArchetype::SocialApp:
+      // App shell: scripts dominate, long JS chains.
+      return PageComposition{1, 3, 14, 28, 8, 20, 1, 3, 5, 10, 3, 0.45};
+    case PageArchetype::Docs:
+      // Lean pages.
+      return PageComposition{1, 2, 2, 6, 4, 12, 1, 2, 0, 2, 1, 0.50};
+  }
+  return PageComposition{2, 4, 6, 12, 10, 30, 1, 2, 1, 4, 1, 0.4};
+}
+
+PageArchetype draw_archetype(Rng& rng) {
+  const double roll = rng.next_double();
+  if (roll < 0.30) return PageArchetype::News;
+  if (roll < 0.55) return PageArchetype::Commerce;
+  if (roll < 0.70) return PageArchetype::Video;
+  if (roll < 0.90) return PageArchetype::SocialApp;
+  return PageArchetype::Docs;
+}
+
+}  // namespace catalyst::workload

@@ -1,0 +1,32 @@
+// Page archetypes: the top-100 homepages are not homogeneous, so sites are
+// drawn from a mix of composition profiles (news-heavy image counts,
+// script-heavy app shells, lean documentation pages, ...).
+#pragma once
+
+#include <string_view>
+
+#include "util/rng.h"
+
+namespace catalyst::workload {
+
+enum class PageArchetype { News, Commerce, Video, SocialApp, Docs };
+
+std::string_view to_string(PageArchetype archetype);
+
+/// Resource-count ranges for one archetype.
+struct PageComposition {
+  int stylesheets_min, stylesheets_max;
+  int scripts_min, scripts_max;      // top-level <script src>
+  int images_min, images_max;
+  int fonts_min, fonts_max;          // referenced from CSS
+  int json_fetches_min, json_fetches_max;  // issued by JS
+  int script_chain_depth;            // js -> js -> asset chains (Fig. 1)
+  double blocking_script_fraction;   // parser-blocking share of scripts
+};
+
+PageComposition composition_for(PageArchetype archetype);
+
+/// Archetype mix for the synthetic "top 100" (weighted draw).
+PageArchetype draw_archetype(Rng& rng);
+
+}  // namespace catalyst::workload

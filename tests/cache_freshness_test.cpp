@@ -1,0 +1,131 @@
+#include "cache/freshness.h"
+
+#include <gtest/gtest.h>
+
+#include "http/date.h"
+
+namespace catalyst::cache {
+namespace {
+
+using http::Response;
+using http::Status;
+
+CacheEntry entry_with(const std::string& cache_control,
+                      TimePoint response_time) {
+  Response resp = Response::make(Status::Ok);
+  if (!cache_control.empty()) {
+    resp.headers.set(http::kCacheControl, cache_control);
+  }
+  resp.headers.set(http::kDate, http::format_http_date(response_time));
+  CacheEntry entry;
+  entry.response = std::move(resp);
+  entry.request_time = response_time;
+  entry.response_time = response_time;
+  return entry;
+}
+
+TEST(FreshnessTest, MaxAgeGovernsLifetime) {
+  const auto entry = entry_with("max-age=300", TimePoint{});
+  EXPECT_EQ(freshness_lifetime(entry.response, false), seconds(300));
+  EXPECT_TRUE(is_fresh(entry, TimePoint{} + seconds(299), false));
+  EXPECT_FALSE(is_fresh(entry, TimePoint{} + seconds(300), false));
+}
+
+TEST(FreshnessTest, NoCacheAndNoStoreAreAlwaysStale) {
+  EXPECT_EQ(freshness_lifetime(entry_with("no-cache", TimePoint{}).response,
+                               true),
+            Duration::zero());
+  EXPECT_EQ(freshness_lifetime(entry_with("no-store", TimePoint{}).response,
+                               true),
+            Duration::zero());
+  // no-cache wins even against an explicit max-age.
+  EXPECT_EQ(freshness_lifetime(
+                entry_with("no-cache, max-age=600", TimePoint{}).response,
+                true),
+            Duration::zero());
+}
+
+TEST(FreshnessTest, ExpiresMinusDate) {
+  Response resp = Response::make(Status::Ok);
+  resp.headers.set(http::kDate, http::format_http_date(TimePoint{}));
+  resp.headers.set(http::kExpires,
+                   http::format_http_date(TimePoint{} + hours(2)));
+  EXPECT_EQ(freshness_lifetime(resp, false), hours(2));
+}
+
+TEST(FreshnessTest, MaxAgeBeatsExpires) {
+  Response resp = Response::make(Status::Ok);
+  resp.headers.set(http::kCacheControl, "max-age=60");
+  resp.headers.set(http::kDate, http::format_http_date(TimePoint{}));
+  resp.headers.set(http::kExpires,
+                   http::format_http_date(TimePoint{} + hours(2)));
+  EXPECT_EQ(freshness_lifetime(resp, false), seconds(60));
+}
+
+TEST(FreshnessTest, MalformedExpiresMeansExpired) {
+  Response resp = Response::make(Status::Ok);
+  resp.headers.set(http::kDate, http::format_http_date(TimePoint{}));
+  resp.headers.set(http::kExpires, "0");
+  EXPECT_EQ(freshness_lifetime(resp, true), Duration::zero());
+}
+
+TEST(FreshnessTest, ExpiresInPastClampsToZero) {
+  Response resp = Response::make(Status::Ok);
+  resp.headers.set(http::kDate,
+                   http::format_http_date(TimePoint{} + hours(5)));
+  resp.headers.set(http::kExpires, http::format_http_date(TimePoint{}));
+  EXPECT_EQ(freshness_lifetime(resp, true), Duration::zero());
+}
+
+TEST(FreshnessTest, HeuristicTenPercentOfLastModifiedAge) {
+  Response resp = Response::make(Status::Ok);
+  resp.headers.set(http::kDate,
+                   http::format_http_date(TimePoint{} + days(10)));
+  resp.headers.set(http::kLastModified,
+                   http::format_http_date(TimePoint{}));
+  // 10% of 10 days = 1 day, capped at 1 day.
+  EXPECT_EQ(freshness_lifetime(resp, true), hours(24));
+  EXPECT_EQ(freshness_lifetime(resp, false), Duration::zero());
+
+  resp.headers.set(http::kLastModified,
+                   http::format_http_date(TimePoint{} + days(9)));
+  // 10% of 1 day = 2.4 h.
+  EXPECT_EQ(freshness_lifetime(resp, true), hours(24) / 10);
+}
+
+TEST(FreshnessTest, NoValidatorsNoLifetime) {
+  Response resp = Response::make(Status::Ok);
+  resp.headers.set(http::kDate, http::format_http_date(TimePoint{}));
+  EXPECT_EQ(freshness_lifetime(resp, true), Duration::zero());
+}
+
+TEST(AgeTest, ResidentTimeDominates) {
+  const auto entry = entry_with("max-age=100", TimePoint{} + hours(1));
+  EXPECT_EQ(current_age(entry, TimePoint{} + hours(1) + seconds(30)),
+            seconds(30));
+}
+
+TEST(AgeTest, ApparentAgeFromSkewedDate) {
+  // The origin's Date is 10 s before the response arrived (network delay
+  // or clock skew): apparent age starts at 10 s.
+  Response resp = Response::make(Status::Ok);
+  resp.headers.set(http::kCacheControl, "max-age=100");
+  resp.headers.set(http::kDate, http::format_http_date(TimePoint{}));
+  CacheEntry entry;
+  entry.response = std::move(resp);
+  entry.response_time = TimePoint{} + seconds(10);
+  EXPECT_EQ(current_age(entry, TimePoint{} + seconds(10)), seconds(10));
+}
+
+TEST(AgeTest, AgeHeaderRespected) {
+  Response resp = Response::make(Status::Ok);
+  resp.headers.set(http::kDate, http::format_http_date(TimePoint{}));
+  resp.headers.set(http::kAge, "50");
+  CacheEntry entry;
+  entry.response = std::move(resp);
+  entry.response_time = TimePoint{};
+  EXPECT_EQ(current_age(entry, TimePoint{} + seconds(10)), seconds(60));
+}
+
+}  // namespace
+}  // namespace catalyst::cache

@@ -1,0 +1,97 @@
+#include "cache/storage.h"
+
+#include <gtest/gtest.h>
+
+namespace catalyst::cache {
+namespace {
+
+CacheEntry entry_of_size(std::size_t body_bytes) {
+  CacheEntry entry;
+  entry.response = http::Response::make(http::Status::Ok);
+  entry.response.body = std::string(body_bytes, 'x');
+  return entry;
+}
+
+TEST(LruStoreTest, PutGetRoundTrip) {
+  LruStore store(KiB(64));
+  EXPECT_TRUE(store.put("a", entry_of_size(100)));
+  ASSERT_NE(store.get("a"), nullptr);
+  EXPECT_EQ(store.get("a")->response.body.size(), 100u);
+  EXPECT_EQ(store.get("missing"), nullptr);
+  EXPECT_EQ(store.entry_count(), 1u);
+}
+
+TEST(LruStoreTest, PutReplacesExisting) {
+  LruStore store(KiB(64));
+  store.put("a", entry_of_size(100));
+  store.put("a", entry_of_size(200));
+  EXPECT_EQ(store.entry_count(), 1u);
+  EXPECT_EQ(store.get("a")->response.body.size(), 200u);
+}
+
+TEST(LruStoreTest, EvictsLeastRecentlyUsed) {
+  // Each entry costs body + head + 64 bookkeeping; size the store for
+  // roughly three entries.
+  LruStore store(3000);
+  store.put("a", entry_of_size(700));
+  store.put("b", entry_of_size(700));
+  store.put("c", entry_of_size(700));
+  // Touch "a" so "b" becomes the LRU victim.
+  ASSERT_NE(store.get("a"), nullptr);
+  store.put("d", entry_of_size(700));
+  EXPECT_NE(store.get("a"), nullptr);
+  EXPECT_EQ(store.get("b"), nullptr);  // evicted
+  EXPECT_NE(store.get("c"), nullptr);
+  EXPECT_NE(store.get("d"), nullptr);
+  EXPECT_GE(store.evictions(), 1u);
+}
+
+TEST(LruStoreTest, PeekDoesNotTouchRecency) {
+  LruStore store(3000);
+  store.put("a", entry_of_size(700));
+  store.put("b", entry_of_size(700));
+  store.put("c", entry_of_size(700));
+  ASSERT_NE(store.peek("a"), nullptr);  // peek must NOT refresh "a"
+  store.put("d", entry_of_size(700));
+  EXPECT_EQ(store.get("a"), nullptr);  // still evicted as true LRU
+}
+
+TEST(LruStoreTest, OversizedEntryRejected) {
+  LruStore store(100);
+  EXPECT_FALSE(store.put("big", entry_of_size(500)));
+  EXPECT_EQ(store.entry_count(), 0u);
+}
+
+TEST(LruStoreTest, SizeAccountingConsistent) {
+  LruStore store(KiB(64));
+  store.put("a", entry_of_size(100));
+  store.put("b", entry_of_size(200));
+  const ByteCount before = store.size_bytes();
+  EXPECT_GT(before, 300u);
+  store.erase("a");
+  EXPECT_LT(store.size_bytes(), before);
+  store.clear();
+  EXPECT_EQ(store.size_bytes(), 0u);
+  EXPECT_EQ(store.entry_count(), 0u);
+}
+
+TEST(LruStoreTest, EraseReturnsWhetherPresent) {
+  LruStore store(KiB(4));
+  store.put("a", entry_of_size(10));
+  EXPECT_TRUE(store.erase("a"));
+  EXPECT_FALSE(store.erase("a"));
+}
+
+TEST(LruStoreTest, MruOrderReflectsAccess) {
+  LruStore store(KiB(64));
+  store.put("a", entry_of_size(10));
+  store.put("b", entry_of_size(10));
+  store.get("a");
+  const auto keys = store.keys_mru_order();
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0], "a");
+  EXPECT_EQ(keys[1], "b");
+}
+
+}  // namespace
+}  // namespace catalyst::cache

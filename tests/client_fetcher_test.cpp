@@ -1,0 +1,95 @@
+#include "client/fetcher.h"
+
+#include <gtest/gtest.h>
+
+namespace catalyst::client {
+namespace {
+
+class FetcherFixture : public ::testing::Test {
+ protected:
+  FetcherFixture() : net_(loop_) {
+    net_.add_host("client");
+    net_.add_host("origin");
+    net_.set_rtt("client", "origin", milliseconds(20));
+    net_.host("origin").set_handler(
+        [this](const http::Request&, auto respond) {
+          ++served_;
+          netsim::ServerReply reply;
+          reply.response = http::Response::make(http::Status::Ok);
+          reply.response.body = "ok";
+          reply.response.finalize(loop_.now());
+          respond(std::move(reply));
+        });
+  }
+
+  netsim::EventLoop loop_;
+  netsim::Network net_;
+  int served_ = 0;
+};
+
+TEST_F(FetcherFixture, H1PoolCapsAtSixConnections) {
+  FetcherConfig config;
+  config.protocol = netsim::Protocol::H1;
+  Fetcher fetcher(net_, "client", config);
+  int responses = 0;
+  for (int i = 0; i < 20; ++i) {
+    fetcher.fetch("origin", http::Request::get("/r", "origin"),
+                  [&](http::Response) { ++responses; });
+  }
+  loop_.run();
+  EXPECT_EQ(responses, 20);
+  EXPECT_EQ(served_, 20);
+  EXPECT_LE(fetcher.connection_count(), 6u);
+  EXPECT_GE(fetcher.connection_count(), 2u);
+}
+
+TEST_F(FetcherFixture, H2UsesSingleConnection) {
+  FetcherConfig config;
+  config.protocol = netsim::Protocol::H2;
+  Fetcher fetcher(net_, "client", config);
+  int responses = 0;
+  for (int i = 0; i < 20; ++i) {
+    fetcher.fetch("origin", http::Request::get("/r", "origin"),
+                  [&](http::Response) { ++responses; });
+  }
+  loop_.run();
+  EXPECT_EQ(responses, 20);
+  EXPECT_EQ(fetcher.connection_count(), 1u);
+}
+
+TEST_F(FetcherFixture, ParallelConnectionsOverlapRequests) {
+  // 6 requests over h1: with 6 parallel connections all complete within
+  // roughly one handshake + one exchange, far less than 6 serial RTTs.
+  FetcherConfig config;
+  config.protocol = netsim::Protocol::H1;
+  config.tls = false;
+  Fetcher fetcher(net_, "client", config);
+  TimePoint last{};
+  int responses = 0;
+  for (int i = 0; i < 6; ++i) {
+    fetcher.fetch("origin", http::Request::get("/r", "origin"),
+                  [&](http::Response) {
+                    ++responses;
+                    last = loop_.now();
+                  });
+  }
+  loop_.run();
+  EXPECT_EQ(responses, 6);
+  EXPECT_LT(last - TimePoint{}, milliseconds(60));  // ~2 RTTs, not 12
+}
+
+TEST_F(FetcherFixture, CountersAggregateAndResetOnClose) {
+  FetcherConfig config;
+  Fetcher fetcher(net_, "client", config);
+  fetcher.fetch("origin", http::Request::get("/r", "origin"),
+                [](http::Response) {});
+  loop_.run();
+  EXPECT_GT(fetcher.total_rtts(), 0);
+  EXPECT_GT(fetcher.total_bytes_received(), 0u);
+  fetcher.close_all();
+  EXPECT_EQ(fetcher.connection_count(), 0u);
+  EXPECT_EQ(fetcher.total_rtts(), 0);
+}
+
+}  // namespace
+}  // namespace catalyst::client

@@ -1,0 +1,136 @@
+#include "html/link_extract.h"
+
+#include <gtest/gtest.h>
+
+#include "html/parser.h"
+
+namespace catalyst::html {
+namespace {
+
+std::vector<DiscoveredResource> extract(std::string_view input) {
+  return extract_resources(*parse(input));
+}
+
+TEST(LinkExtractTest, Stylesheets) {
+  const auto found =
+      extract("<link rel=\"stylesheet\" href=\"/a.css\">"
+              "<link rel=\"preload\" as=\"style\" href=\"/b.css\">");
+  ASSERT_EQ(found.size(), 2u);
+  EXPECT_EQ(found[0].url, "/a.css");
+  EXPECT_EQ(found[0].resource_class, http::ResourceClass::Css);
+  EXPECT_TRUE(found[0].render_blocking);
+  EXPECT_FALSE(found[0].parser_blocking);
+  EXPECT_EQ(found[1].resource_class, http::ResourceClass::Css);
+}
+
+TEST(LinkExtractTest, ScriptsAndBlockingSemantics) {
+  const auto found =
+      extract("<script src=\"/block.js\"></script>"
+              "<script src=\"/async.js\" async></script>"
+              "<script src=\"/defer.js\" defer></script>"
+              "<script src=\"/mod.js\" type=\"module\"></script>");
+  ASSERT_EQ(found.size(), 4u);
+  EXPECT_TRUE(found[0].parser_blocking);
+  EXPECT_FALSE(found[1].parser_blocking);
+  EXPECT_FALSE(found[2].parser_blocking);
+  EXPECT_FALSE(found[3].parser_blocking);
+  for (const auto& f : found) {
+    EXPECT_EQ(f.resource_class, http::ResourceClass::Script);
+  }
+}
+
+TEST(LinkExtractTest, InlineScriptNotAResource) {
+  EXPECT_TRUE(extract("<script>var x = 1;</script>").empty());
+}
+
+TEST(LinkExtractTest, ImagesAndSources) {
+  const auto found =
+      extract("<img src=\"/pic.webp\" alt=\"x\">"
+              "<picture><source srcset=\"/big.webp 2x, /small.webp\">"
+              "</picture>"
+              "<link rel=\"icon\" href=\"/favicon.ico\">");
+  ASSERT_EQ(found.size(), 3u);
+  EXPECT_EQ(found[0].url, "/pic.webp");
+  EXPECT_EQ(found[1].url, "/big.webp");  // first srcset candidate
+  EXPECT_EQ(found[2].url, "/favicon.ico");
+  for (const auto& f : found) {
+    EXPECT_EQ(f.resource_class, http::ResourceClass::Image);
+    EXPECT_FALSE(f.parser_blocking);
+  }
+}
+
+TEST(LinkExtractTest, PreloadAsClasses) {
+  const auto found =
+      extract("<link rel=\"preload\" as=\"font\" href=\"/f.woff2\">"
+              "<link rel=\"preload\" as=\"script\" href=\"/p.js\">"
+              "<link rel=\"preload\" as=\"fetch\" href=\"/d.json\">");
+  ASSERT_EQ(found.size(), 3u);
+  EXPECT_EQ(found[0].resource_class, http::ResourceClass::Font);
+  EXPECT_EQ(found[1].resource_class, http::ResourceClass::Script);
+  EXPECT_EQ(found[2].resource_class, http::ResourceClass::Json);
+}
+
+TEST(LinkExtractTest, InlineStyleUrls) {
+  const auto found =
+      extract("<style>.h { background: url(\"/hero.webp\") } "
+              "@import \"/extra.css\";</style>");
+  ASSERT_EQ(found.size(), 2u);
+  // Document order of the extractor: url() assets and imports.
+  bool saw_img = false, saw_css = false;
+  for (const auto& f : found) {
+    if (f.url == "/hero.webp") {
+      saw_img = true;
+      EXPECT_EQ(f.resource_class, http::ResourceClass::Image);
+    }
+    if (f.url == "/extra.css") {
+      saw_css = true;
+      EXPECT_EQ(f.resource_class, http::ResourceClass::Css);
+    }
+  }
+  EXPECT_TRUE(saw_img);
+  EXPECT_TRUE(saw_css);
+}
+
+TEST(LinkExtractTest, IgnoresAnchorsDataAndJavascriptUrls) {
+  const auto found =
+      extract("<a href=\"/page2.html\">link</a>"
+              "<img src=\"data:image/png;base64,AA\">"
+              "<script src=\"javascript:void(0)\"></script>"
+              "<img src=\"\">");
+  EXPECT_TRUE(found.empty());
+}
+
+TEST(LinkExtractTest, DocumentOrderPreserved) {
+  const auto found =
+      extract("<link rel=stylesheet href=/1.css>"
+              "<script src=/2.js></script>"
+              "<img src=/3.png>");
+  ASSERT_EQ(found.size(), 3u);
+  EXPECT_EQ(found[0].url, "/1.css");
+  EXPECT_EQ(found[1].url, "/2.js");
+  EXPECT_EQ(found[2].url, "/3.png");
+}
+
+TEST(JsFetchTest, ExtractsDirectives) {
+  const auto urls = extract_js_fetches(
+      "/* @fetch /api/a.json */ fetch(\"/api/a.json\");\n"
+      "let x = 1;\n"
+      "/* @fetch /assets/lazy0.js */ fetch(\"/assets/lazy0.js\");\n");
+  ASSERT_EQ(urls.size(), 2u);
+  EXPECT_EQ(urls[0], "/api/a.json");
+  EXPECT_EQ(urls[1], "/assets/lazy0.js");
+}
+
+TEST(JsFetchTest, NoDirectives) {
+  EXPECT_TRUE(extract_js_fetches("function f() { return 1; }").empty());
+  EXPECT_TRUE(extract_js_fetches("").empty());
+}
+
+TEST(JsFetchTest, DirectiveAtEndOfInput) {
+  const auto urls = extract_js_fetches("// @fetch /tail.json");
+  ASSERT_EQ(urls.size(), 1u);
+  EXPECT_EQ(urls[0], "/tail.json");
+}
+
+}  // namespace
+}  // namespace catalyst::html

@@ -1,0 +1,107 @@
+#include "html/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+namespace catalyst::html {
+namespace {
+
+TEST(TokenizerTest, SimpleDocument) {
+  const auto tokens = Tokenizer::tokenize_all(
+      "<!DOCTYPE html><html><body>hi</body></html>");
+  ASSERT_EQ(tokens.size(), 6u);
+  EXPECT_EQ(tokens[0].type, Token::Type::Doctype);
+  EXPECT_EQ(tokens[1].type, Token::Type::StartTag);
+  EXPECT_EQ(tokens[1].data, "html");
+  EXPECT_EQ(tokens[3].type, Token::Type::Text);
+  EXPECT_EQ(tokens[3].data, "hi");
+  EXPECT_EQ(tokens[5].type, Token::Type::EndTag);
+}
+
+TEST(TokenizerTest, AttributesQuotedAndUnquoted) {
+  const auto tokens = Tokenizer::tokenize_all(
+      "<img src=\"a.png\" alt='x y' width=10 hidden>");
+  ASSERT_EQ(tokens.size(), 1u);
+  const auto& attrs = tokens[0].attributes;
+  ASSERT_EQ(attrs.size(), 4u);
+  EXPECT_EQ(attrs[0].name, "src");
+  EXPECT_EQ(attrs[0].value, "a.png");
+  EXPECT_EQ(attrs[1].value, "x y");
+  EXPECT_EQ(attrs[2].value, "10");
+  EXPECT_EQ(attrs[3].name, "hidden");
+  EXPECT_EQ(attrs[3].value, "");
+}
+
+TEST(TokenizerTest, TagAndAttributeNamesLowercased) {
+  const auto tokens = Tokenizer::tokenize_all("<DIV CLASS=\"X\">");
+  EXPECT_EQ(tokens[0].data, "div");
+  EXPECT_EQ(tokens[0].attributes[0].name, "class");
+  EXPECT_EQ(tokens[0].attributes[0].value, "X");  // values keep case
+}
+
+TEST(TokenizerTest, SelfClosingFlag) {
+  const auto tokens = Tokenizer::tokenize_all("<br/><img src=x />");
+  EXPECT_TRUE(tokens[0].self_closing);
+  EXPECT_TRUE(tokens[1].self_closing);
+  EXPECT_EQ(tokens[1].attributes[0].value, "x");
+}
+
+TEST(TokenizerTest, Comments) {
+  const auto tokens =
+      Tokenizer::tokenize_all("a<!-- <script>nope</script> -->b");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[1].type, Token::Type::Comment);
+  EXPECT_EQ(tokens[1].data, " <script>nope</script> ");
+}
+
+TEST(TokenizerTest, ScriptContentIsRawText) {
+  const auto tokens = Tokenizer::tokenize_all(
+      "<script>if (a < b && x > 1) { run('<div>'); }</script>");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].data, "script");
+  EXPECT_EQ(tokens[1].type, Token::Type::Text);
+  EXPECT_EQ(tokens[1].data, "if (a < b && x > 1) { run('<div>'); }");
+  EXPECT_EQ(tokens[2].type, Token::Type::EndTag);
+  EXPECT_EQ(tokens[2].data, "script");
+}
+
+TEST(TokenizerTest, StyleContentIsRawText) {
+  const auto tokens = Tokenizer::tokenize_all(
+      "<style>a > b { color: red }</style>");
+  EXPECT_EQ(tokens[1].data, "a > b { color: red }");
+}
+
+TEST(TokenizerTest, RawTextEndTagCaseInsensitive) {
+  const auto tokens =
+      Tokenizer::tokenize_all("<script>x</SCRIPT>after");
+  ASSERT_GE(tokens.size(), 3u);
+  EXPECT_EQ(tokens[1].data, "x");
+  EXPECT_EQ(tokens[2].type, Token::Type::EndTag);
+}
+
+TEST(TokenizerTest, UnterminatedScriptConsumesRest) {
+  const auto tokens = Tokenizer::tokenize_all("<script>never ends");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[1].data, "never ends");
+}
+
+TEST(TokenizerTest, StrayLessThanIsText) {
+  const auto tokens = Tokenizer::tokenize_all("1 < 2 and 3 > 2");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].type, Token::Type::Text);
+}
+
+TEST(TokenizerTest, EmptyInput) {
+  EXPECT_TRUE(Tokenizer::tokenize_all("").empty());
+}
+
+TEST(TokenizerTest, AttributeWhitespaceVariants) {
+  const auto tokens =
+      Tokenizer::tokenize_all("<a href = \"x\"  rel =stylesheet >");
+  const auto& attrs = tokens[0].attributes;
+  ASSERT_EQ(attrs.size(), 2u);
+  EXPECT_EQ(attrs[0].value, "x");
+  EXPECT_EQ(attrs[1].value, "stylesheet");
+}
+
+}  // namespace
+}  // namespace catalyst::html

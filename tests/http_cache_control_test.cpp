@@ -1,0 +1,80 @@
+#include "http/cache_control.h"
+
+#include <gtest/gtest.h>
+
+namespace catalyst::http {
+namespace {
+
+TEST(CacheControlTest, ParseSingleDirectives) {
+  EXPECT_TRUE(CacheControl::parse("no-store").no_store);
+  EXPECT_TRUE(CacheControl::parse("no-cache").no_cache);
+  EXPECT_TRUE(CacheControl::parse("must-revalidate").must_revalidate);
+  EXPECT_TRUE(CacheControl::parse("immutable").immutable);
+  EXPECT_TRUE(CacheControl::parse("public").is_public);
+  EXPECT_TRUE(CacheControl::parse("private").is_private);
+}
+
+TEST(CacheControlTest, ParseMaxAge) {
+  const auto cc = CacheControl::parse("max-age=3600");
+  ASSERT_TRUE(cc.max_age);
+  EXPECT_EQ(*cc.max_age, hours(1));
+}
+
+TEST(CacheControlTest, ParseIsCaseInsensitiveAndWhitespaceTolerant) {
+  const auto cc = CacheControl::parse("  No-Cache ,  MAX-AGE=60  ");
+  EXPECT_TRUE(cc.no_cache);
+  ASSERT_TRUE(cc.max_age);
+  EXPECT_EQ(*cc.max_age, minutes(1));
+}
+
+TEST(CacheControlTest, QuotedArgument) {
+  const auto cc = CacheControl::parse("max-age=\"120\"");
+  ASSERT_TRUE(cc.max_age);
+  EXPECT_EQ(*cc.max_age, minutes(2));
+}
+
+TEST(CacheControlTest, MalformedMaxAgeDropped) {
+  EXPECT_FALSE(CacheControl::parse("max-age=abc").max_age);
+  EXPECT_FALSE(CacheControl::parse("max-age=").max_age);
+  EXPECT_FALSE(CacheControl::parse("max-age=-5").max_age);
+}
+
+TEST(CacheControlTest, HugeMaxAgeClamped) {
+  const auto cc = CacheControl::parse("max-age=99999999999999999");
+  ASSERT_TRUE(cc.max_age);
+  EXPECT_LE(*cc.max_age, days(10 * 365) + seconds(1));
+}
+
+TEST(CacheControlTest, UnknownDirectivesIgnored) {
+  const auto cc = CacheControl::parse("stale-while-revalidate=30, no-cache");
+  EXPECT_TRUE(cc.no_cache);
+}
+
+TEST(CacheControlTest, RoundTripThroughToString) {
+  const CacheControl original = [] {
+    CacheControl cc;
+    cc.is_public = true;
+    cc.max_age = seconds(120);
+    cc.immutable = true;
+    return cc;
+  }();
+  const CacheControl reparsed = CacheControl::parse(original.to_string());
+  EXPECT_EQ(original, reparsed);
+}
+
+TEST(CacheControlTest, FactoryPolicies) {
+  EXPECT_TRUE(CacheControl::never_store().no_store);
+  EXPECT_TRUE(CacheControl::revalidate_always().no_cache);
+  const auto forever = CacheControl::store_forever();
+  EXPECT_TRUE(forever.immutable);
+  ASSERT_TRUE(forever.max_age);
+  EXPECT_EQ(*forever.max_age, days(365));
+  EXPECT_EQ(CacheControl::with_max_age(minutes(5)).max_age, minutes(5));
+}
+
+TEST(CacheControlTest, EmptyStringParsesToDefaults) {
+  EXPECT_EQ(CacheControl::parse(""), CacheControl{});
+}
+
+}  // namespace
+}  // namespace catalyst::http

@@ -1,0 +1,159 @@
+// Randomized property sweeps over the HTTP cache and header codecs:
+// invariants that must hold for arbitrary generated inputs.
+#include <gtest/gtest.h>
+
+#include "cache/freshness.h"
+#include "cache/http_cache.h"
+#include "http/date.h"
+#include "http/etag_config.h"
+#include "http/parser.h"
+#include "http/serializer.h"
+#include "util/rng.h"
+
+namespace catalyst {
+namespace {
+
+using cache::CacheEntry;
+using cache::HttpCache;
+using cache::LookupDecision;
+using http::Response;
+using http::Status;
+
+class CacheProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+/// Draws a random-but-valid response with assorted cache headers.
+Response random_response(Rng& rng, TimePoint now) {
+  Response resp = Response::make(Status::Ok);
+  resp.body = std::string(static_cast<std::size_t>(
+                              rng.uniform_int(0, 2000)),
+                          'b');
+  const double roll = rng.next_double();
+  if (roll < 0.2) {
+    resp.headers.set(http::kCacheControl, "no-store");
+  } else if (roll < 0.4) {
+    resp.headers.set(http::kCacheControl, "no-cache");
+  } else if (roll < 0.8) {
+    resp.headers.set(
+        http::kCacheControl,
+        "max-age=" + std::to_string(rng.uniform_int(0, 86400)));
+  }  // else: no cache-control at all
+  if (rng.bernoulli(0.7)) {
+    resp.headers.set(http::kEtagHeader,
+                     "\"e" + std::to_string(rng.next_u64() & 0xFFFF) +
+                         "\"");
+  }
+  if (rng.bernoulli(0.5)) {
+    resp.headers.set(
+        http::kLastModified,
+        http::format_http_date(now - hours(rng.uniform_int(0, 72))));
+  }
+  resp.finalize(now);
+  return resp;
+}
+
+TEST_P(CacheProperties, StoreLookupInvariants) {
+  Rng rng(GetParam());
+  HttpCache cache(MiB(8));
+  const TimePoint t0{};
+  for (int i = 0; i < 300; ++i) {
+    const std::string url = "https://h/" + std::to_string(i);
+    Response resp = random_response(rng, t0);
+    const bool no_store = resp.cache_control().no_store;
+    const bool stored = cache.store(url, resp, t0, t0);
+
+    // 1. no-store is never stored.
+    if (no_store) EXPECT_FALSE(stored) << url;
+    if (!stored) {
+      EXPECT_FALSE(cache.contains(url));
+      continue;
+    }
+
+    // 2. A lookup right now never claims a fresh hit for no-cache.
+    const auto now_result = cache.lookup(url, t0);
+    if (resp.cache_control().no_cache) {
+      EXPECT_NE(now_result.decision, LookupDecision::FreshHit) << url;
+    }
+
+    // 3. Whatever the decision, any returned entry carries the body we
+    //    stored.
+    if (now_result.entry != nullptr) {
+      EXPECT_EQ(now_result.entry->response.body, resp.body);
+    }
+
+    // 4. Far in the future everything is stale: either revalidate (a
+    //    validator exists) or miss — never a fresh hit.
+    const auto later = cache.lookup(url, t0 + days(400));
+    EXPECT_NE(later.decision, LookupDecision::FreshHit) << url;
+  }
+  // 5. Capacity accounting is consistent.
+  EXPECT_LE(cache.size_bytes(), MiB(8));
+}
+
+TEST_P(CacheProperties, FreshnessMonotoneInTime) {
+  Rng rng(GetParam() ^ 0xF00D);
+  for (int i = 0; i < 100; ++i) {
+    CacheEntry entry;
+    entry.response = random_response(rng, TimePoint{});
+    entry.request_time = TimePoint{};
+    entry.response_time = TimePoint{};
+    bool was_fresh = true;
+    for (int h = 0; h <= 48; h += 3) {
+      const bool fresh =
+          cache::is_fresh(entry, TimePoint{} + hours(h), true);
+      // Once stale, never fresh again (no refresh happened).
+      if (!was_fresh) EXPECT_FALSE(fresh);
+      was_fresh = fresh;
+    }
+  }
+}
+
+TEST_P(CacheProperties, MessageWireRoundTripIsLossless) {
+  Rng rng(GetParam() ^ 0xCAFE);
+  for (int i = 0; i < 50; ++i) {
+    Response original = random_response(rng, TimePoint{} + hours(1));
+    const std::string wire = http::serialize(original);
+    EXPECT_EQ(wire.size(), original.wire_size());
+    http::ResponseParser parser;
+    ASSERT_EQ(parser.feed(wire), http::ParseResult::Done);
+    const Response parsed = parser.take();
+    EXPECT_EQ(parsed.status, original.status);
+    EXPECT_EQ(parsed.headers, original.headers);
+    EXPECT_EQ(parsed.body, original.body);
+  }
+}
+
+TEST_P(CacheProperties, EtagConfigRoundTripsArbitraryPaths) {
+  Rng rng(GetParam() ^ 0xE7A6);
+  http::EtagConfig config;
+  std::map<std::string, std::string> truth;
+  for (int i = 0; i < 100; ++i) {
+    // Paths with awkward-but-legal characters.
+    std::string path = "/p";
+    const int len = static_cast<int>(rng.uniform_int(1, 40));
+    static constexpr char kChars[] =
+        "abcXYZ019-._~!$&'()*+,;=:@/ \"\\";
+    for (int c = 0; c < len; ++c) {
+      path.push_back(
+          kChars[rng.uniform_int(0, sizeof(kChars) - 2)]);
+    }
+    const std::string etag =
+        "v" + std::to_string(rng.next_u64() & 0xFFFFFF);
+    config.add(path, http::Etag{etag, rng.bernoulli(0.3)});
+    truth[path] = etag;
+  }
+  const auto parsed = http::EtagConfig::parse(config.encode());
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->size(), config.size());
+  for (const auto& [path, etag] : truth) {
+    const auto found = parsed->find(path);
+    ASSERT_TRUE(found) << path;
+    EXPECT_EQ(found->value, etag) << path;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CacheProperties,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u,
+                                           34u));
+
+}  // namespace
+}  // namespace catalyst

@@ -1,0 +1,101 @@
+// Chunked transfer coding (RFC 9112 §7.1): serializer + incremental
+// parser round trips.
+#include <gtest/gtest.h>
+
+#include "http/parser.h"
+#include "http/serializer.h"
+
+namespace catalyst::http {
+namespace {
+
+Response sample_response(std::size_t body_size) {
+  Response resp = Response::make(Status::Ok);
+  resp.headers.set(kContentType, "text/html");
+  resp.body.reserve(body_size);
+  for (std::size_t i = 0; i < body_size; ++i) {
+    resp.body.push_back(static_cast<char>('a' + i % 26));
+  }
+  return resp;
+}
+
+TEST(ChunkedTest, RoundTripVariousChunkSizes) {
+  const Response original = sample_response(10'000);
+  for (const std::size_t chunk : {1u, 7u, 100u, 4096u, 20'000u}) {
+    const std::string wire = serialize_chunked(original, chunk);
+    ResponseParser parser;
+    ASSERT_EQ(parser.feed(wire), ParseResult::Done) << "chunk=" << chunk;
+    const Response parsed = parser.take();
+    EXPECT_EQ(parsed.body, original.body) << "chunk=" << chunk;
+    EXPECT_EQ(parsed.headers.get("Transfer-Encoding"), "chunked");
+    EXPECT_FALSE(parsed.headers.contains(kContentLength));
+  }
+}
+
+TEST(ChunkedTest, EmptyBody) {
+  const Response original = sample_response(0);
+  const std::string wire = serialize_chunked(original, 16);
+  ResponseParser parser;
+  ASSERT_EQ(parser.feed(wire), ParseResult::Done);
+  EXPECT_TRUE(parser.take().body.empty());
+}
+
+TEST(ChunkedTest, IncrementalByteFeeding) {
+  const Response original = sample_response(500);
+  const std::string wire = serialize_chunked(original, 64);
+  ResponseParser parser;
+  ParseResult r = ParseResult::NeedMore;
+  for (std::size_t i = 0; i < wire.size(); ++i) {
+    r = parser.feed(wire.substr(i, 1));
+    if (i + 1 < wire.size()) {
+      ASSERT_EQ(r, ParseResult::NeedMore) << "byte " << i;
+    }
+  }
+  ASSERT_EQ(r, ParseResult::Done);
+  EXPECT_EQ(parser.take().body, original.body);
+}
+
+TEST(ChunkedTest, WireFormatShape) {
+  Response resp = Response::make(Status::Ok);
+  resp.body = "hello world!";  // 12 bytes = 0xc
+  const std::string wire = serialize_chunked(resp, 12);
+  EXPECT_NE(wire.find("\r\nc\r\nhello world!\r\n0\r\n\r\n"),
+            std::string::npos);
+}
+
+TEST(ChunkedTest, MalformedInputsRejected) {
+  const char* head = "HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n";
+  {
+    ResponseParser parser;  // non-hex chunk size
+    EXPECT_EQ(parser.feed(std::string(head) + "zz\r\nhi\r\n0\r\n\r\n"),
+              ParseResult::Error);
+  }
+  {
+    ResponseParser parser;  // missing CRLF after chunk data
+    EXPECT_EQ(parser.feed(std::string(head) + "2\r\nhiXX0\r\n\r\n"),
+              ParseResult::Error);
+  }
+  {
+    ResponseParser parser;  // bytes after the terminal chunk
+    EXPECT_EQ(parser.feed(std::string(head) + "0\r\n\r\nextra"),
+              ParseResult::Error);
+  }
+  {
+    ResponseParser parser;  // unsupported coding
+    EXPECT_EQ(parser.feed(
+                  "HTTP/1.1 200 OK\r\nTransfer-Encoding: gzip\r\n\r\n"),
+              ParseResult::Error);
+  }
+}
+
+TEST(ChunkedTest, TruncatedStreamNeedsMore) {
+  const char* head = "HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n";
+  ResponseParser parser;
+  EXPECT_EQ(parser.feed(std::string(head) + "5\r\nhel"),
+            ParseResult::NeedMore);
+  EXPECT_EQ(parser.feed("lo\r\n"), ParseResult::NeedMore);
+  EXPECT_EQ(parser.feed("0\r\n\r\n"), ParseResult::Done);
+  EXPECT_EQ(parser.take().body, "hello");
+}
+
+}  // namespace
+}  // namespace catalyst::http

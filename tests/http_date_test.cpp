@@ -1,0 +1,64 @@
+#include "http/date.h"
+
+#include <gtest/gtest.h>
+
+namespace catalyst::http {
+namespace {
+
+TEST(HttpDateTest, EpochFormatsToKnownInstant) {
+  // Simulation epoch = 2026-01-01 00:00:00 GMT, a Thursday.
+  EXPECT_EQ(format_http_date(TimePoint{}), "Thu, 01 Jan 2026 00:00:00 GMT");
+}
+
+TEST(HttpDateTest, OffsetsFormat) {
+  EXPECT_EQ(format_http_date(TimePoint{} + days(1) + hours(13) +
+                             minutes(59) + seconds(7)),
+            "Fri, 02 Jan 2026 13:59:07 GMT");
+  // End of January -> February.
+  EXPECT_EQ(format_http_date(TimePoint{} + days(31)),
+            "Sun, 01 Feb 2026 00:00:00 GMT");
+}
+
+TEST(HttpDateTest, LeapYearHandling) {
+  // 2028 is a leap year: day 59 of 2028 is Feb 29.
+  const TimePoint t =
+      TimePoint{} + days(365 + 365 + 31 + 28);  // 2026, 2027, Jan28+Feb28
+  EXPECT_EQ(format_http_date(t), "Tue, 29 Feb 2028 00:00:00 GMT");
+}
+
+TEST(HttpDateTest, RoundTrip) {
+  for (const Duration offset :
+       {Duration::zero(), seconds(1), hours(7) + minutes(31),
+        days(100) + seconds(59), days(3650)}) {
+    const TimePoint t = TimePoint{} + offset;
+    const auto parsed = parse_http_date(format_http_date(t));
+    ASSERT_TRUE(parsed);
+    EXPECT_EQ(*parsed, t);
+  }
+}
+
+TEST(HttpDateTest, ParseKnownString) {
+  const auto t = parse_http_date("Thu, 01 Jan 2026 00:00:01 GMT");
+  ASSERT_TRUE(t);
+  EXPECT_EQ(*t, TimePoint{} + seconds(1));
+}
+
+TEST(HttpDateTest, ParsePre2026DatesAreNegativeSimTime) {
+  const auto t = parse_http_date("Wed, 31 Dec 2025 23:59:59 GMT");
+  ASSERT_TRUE(t);
+  EXPECT_EQ(*t, TimePoint{} - seconds(1));
+}
+
+TEST(HttpDateTest, ParseRejectsMalformed) {
+  EXPECT_FALSE(parse_http_date(""));
+  EXPECT_FALSE(parse_http_date("not a date"));
+  EXPECT_FALSE(parse_http_date("Thu, 01 Jan 2026 00:00:00 UTC"));
+  EXPECT_FALSE(parse_http_date("Thu, 32 Jan 2026 00:00:00 GMT"));
+  EXPECT_FALSE(parse_http_date("Thu, 01 Foo 2026 00:00:00 GMT"));
+  EXPECT_FALSE(parse_http_date("Thu, 30 Feb 2026 00:00:00 GMT"));
+  // Wrong separators.
+  EXPECT_FALSE(parse_http_date("Thu, 01 Jan 2026 00-00-00 GMT"));
+}
+
+}  // namespace
+}  // namespace catalyst::http

@@ -1,0 +1,76 @@
+#include "http/etag_config.h"
+
+#include <gtest/gtest.h>
+
+#include "http/headers.h"
+
+namespace catalyst::http {
+namespace {
+
+TEST(EtagConfigTest, EncodeDecodeRoundTrip) {
+  EtagConfig config;
+  config.add("/a.css", Etag{"abc", false});
+  config.add("/b.js", Etag{"def", true});
+  config.add("/img/pic one.webp", Etag{"ghi", false});
+  const auto parsed = EtagConfig::parse(config.encode());
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->size(), 3u);
+  EXPECT_EQ(parsed->find("/a.css"), (Etag{"abc", false}));
+  EXPECT_EQ(parsed->find("/b.js"), (Etag{"def", true}));
+  EXPECT_FALSE(parsed->find("/missing"));
+}
+
+TEST(EtagConfigTest, EncodedFormIsCompactJson) {
+  EtagConfig config;
+  config.add("/a", Etag{"x", false});
+  EXPECT_EQ(config.encode(), "{\"/a\":\"\\\"x\\\"\"}");
+}
+
+TEST(EtagConfigTest, EmptyMap) {
+  EtagConfig config;
+  EXPECT_TRUE(config.empty());
+  EXPECT_EQ(config.encode(), "{}");
+  const auto parsed = EtagConfig::parse("{}");
+  ASSERT_TRUE(parsed);
+  EXPECT_TRUE(parsed->empty());
+}
+
+TEST(EtagConfigTest, MalformedJsonRejected) {
+  EXPECT_FALSE(EtagConfig::parse(""));
+  EXPECT_FALSE(EtagConfig::parse("not json"));
+  EXPECT_FALSE(EtagConfig::parse("[1,2]"));
+  EXPECT_FALSE(EtagConfig::parse("{\"a\":42}"));  // non-string value
+}
+
+TEST(EtagConfigTest, EntriesWithBadEtagsDroppedNotFatal) {
+  const auto parsed = EtagConfig::parse(
+      "{\"/good\":\"\\\"ok\\\"\",\"/bad\":\"no-quotes\"}");
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->size(), 1u);
+  EXPECT_TRUE(parsed->find("/good"));
+  EXPECT_FALSE(parsed->find("/bad"));
+}
+
+TEST(EtagConfigTest, HeaderWireSizeGrowsWithEntries) {
+  EtagConfig small, large;
+  small.add("/a", Etag{"0123456789abcdef", false});
+  for (int i = 0; i < 100; ++i) {
+    large.add("/assets/resource" + std::to_string(i) + ".css",
+              Etag{"0123456789abcdef", false});
+  }
+  EXPECT_GT(large.header_wire_size(), small.header_wire_size());
+  // Rough scale: each entry costs ~path + etag + JSON syntax.
+  EXPECT_GT(large.header_wire_size(), 100u * 30u);
+  EXPECT_LT(large.header_wire_size(), 100u * 80u);
+}
+
+TEST(EtagConfigTest, LastAddWinsForDuplicatePaths) {
+  EtagConfig config;
+  config.add("/a", Etag{"old", false});
+  config.add("/a", Etag{"new", false});
+  EXPECT_EQ(config.size(), 1u);
+  EXPECT_EQ(config.find("/a")->value, "new");
+}
+
+}  // namespace
+}  // namespace catalyst::http

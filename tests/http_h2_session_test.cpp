@@ -1,0 +1,145 @@
+#include "http/h2/session.h"
+
+#include <gtest/gtest.h>
+
+namespace catalyst::http::h2 {
+namespace {
+
+Request sample_request() {
+  Request req = Request::get("/a.css?v=2", "example.com");
+  req.headers.add("Cookie", "sid=u1");
+  req.headers.add(kIfNoneMatch, "\"abc\"");
+  return req;
+}
+
+Response sample_response(std::size_t body_size) {
+  Response resp = Response::make(Status::Ok);
+  resp.headers.set(kContentType, "text/css");
+  resp.headers.set(kEtagHeader, "\"abc\"");
+  resp.body = std::string(body_size, 'q');
+  return resp;
+}
+
+TEST(H2SessionTest, RequestRoundTrip) {
+  const Request original = sample_request();
+  const auto frames = MessageCodec::encode_request(original, 1);
+  ASSERT_FALSE(frames.empty());
+  EXPECT_EQ(frames.front().type, FrameType::Headers);
+  EXPECT_TRUE(frames.front().end_stream());  // no body
+  const auto decoded = MessageCodec::decode_request(frames);
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded->method, Method::Get);
+  EXPECT_EQ(decoded->target, "/a.css?v=2");
+  EXPECT_EQ(decoded->headers.get(kHost), "example.com");
+  EXPECT_EQ(decoded->headers.get("cookie"), "sid=u1");
+  EXPECT_EQ(decoded->headers.get("if-none-match"), "\"abc\"");
+}
+
+TEST(H2SessionTest, ResponseRoundTripWithBody) {
+  const Response original = sample_response(1000);
+  const auto frames = MessageCodec::encode_response(original, 1);
+  ASSERT_EQ(frames.size(), 2u);  // HEADERS + one DATA
+  EXPECT_FALSE(frames[0].end_stream());
+  EXPECT_TRUE(frames[1].end_stream());
+  const auto decoded = MessageCodec::decode_response(frames);
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded->status, Status::Ok);
+  EXPECT_EQ(decoded->body, original.body);
+  EXPECT_EQ(decoded->headers.get("etag"), "\"abc\"");
+}
+
+TEST(H2SessionTest, LargeBodySplitsAtMaxFrameSize) {
+  const Response original =
+      sample_response(MessageCodec::kMaxDataFrame * 2 + 100);
+  const auto frames = MessageCodec::encode_response(original, 3);
+  ASSERT_EQ(frames.size(), 4u);  // HEADERS + 3 DATA
+  EXPECT_EQ(frames[1].payload.size(), MessageCodec::kMaxDataFrame);
+  EXPECT_EQ(frames[3].payload.size(), 100u);
+  EXPECT_TRUE(frames[3].end_stream());
+  const auto decoded = MessageCodec::decode_response(frames);
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded->body.size(), original.body.size());
+}
+
+TEST(H2SessionTest, PushSequence) {
+  const Response pushed = sample_response(256);
+  const auto frames =
+      MessageCodec::encode_push("/a.css", pushed, /*assoc=*/1,
+                                /*promised=*/2);
+  ASSERT_GE(frames.size(), 3u);
+  EXPECT_EQ(frames[0].type, FrameType::PushPromise);
+  EXPECT_EQ(frames[0].stream_id, 1u);
+  const auto promise = decode_push_promise_payload(frames[0].payload);
+  ASSERT_TRUE(promise);
+  EXPECT_EQ(promise->first, 2u);
+  // Remaining frames carry the response on the promised stream.
+  std::vector<Frame> response_frames(frames.begin() + 1, frames.end());
+  EXPECT_EQ(response_frames[0].stream_id, 2u);
+  const auto decoded = MessageCodec::decode_response(response_frames);
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded->body.size(), 256u);
+}
+
+TEST(H2SessionTest, TransportPushCostModelIsConservative) {
+  // The netsim transport charges a pushed response as
+  //   (9 + 4 + 32 + target.size()) + response.wire_size()
+  // where wire_size() is the h1 serialization. Framing must not exceed
+  // that model by more than a few percent (h2 framing is cheaper than the
+  // h1 head for realistic messages because of the compact header block).
+  const std::string target = "/assets/style7.css";
+  Response resp = sample_response(20'000);
+  resp.finalize(TimePoint{});
+  const auto frames = MessageCodec::encode_push(target, resp, 1, 2);
+  const std::size_t framed = MessageCodec::wire_size(frames);
+  const std::size_t modeled = 9 + 4 + 32 + target.size() + resp.wire_size();
+  EXPECT_LE(framed, modeled + modeled / 20);
+  EXPECT_GE(framed, modeled - modeled / 10);
+}
+
+TEST(H2SessionTest, DecodeRejectsMalformedSequences) {
+  EXPECT_FALSE(MessageCodec::decode_response({}));
+  // DATA before HEADERS.
+  Frame data;
+  data.type = FrameType::Data;
+  data.stream_id = 1;
+  EXPECT_FALSE(MessageCodec::decode_response({data}));
+  // Missing :status.
+  Frame headers;
+  headers.type = FrameType::Headers;
+  headers.stream_id = 1;
+  headers.payload = encode_header_block({{"x", "y"}});
+  EXPECT_FALSE(MessageCodec::decode_response({headers}));
+  // Stream-id mismatch between HEADERS and DATA.
+  Frame good_headers;
+  good_headers.type = FrameType::Headers;
+  good_headers.stream_id = 1;
+  good_headers.payload = encode_header_block({{":status", "200"}});
+  Frame wrong_stream = data;
+  wrong_stream.stream_id = 3;
+  EXPECT_FALSE(
+      MessageCodec::decode_response({good_headers, wrong_stream}));
+  // Missing :method / :path on requests.
+  Frame req_headers;
+  req_headers.type = FrameType::Headers;
+  req_headers.stream_id = 1;
+  req_headers.payload = encode_header_block({{":method", "GET"}});
+  EXPECT_FALSE(MessageCodec::decode_request({req_headers}));
+}
+
+TEST(H2SessionTest, FramesSurviveWireSerialization) {
+  const auto frames =
+      MessageCodec::encode_response(sample_response(5000), 5);
+  std::string wire;
+  for (const Frame& f : frames) wire += serialize_frame(f);
+  FrameReader reader;
+  reader.feed(wire);
+  std::vector<Frame> parsed;
+  while (auto f = reader.next()) parsed.push_back(std::move(*f));
+  ASSERT_EQ(parsed.size(), frames.size());
+  const auto decoded = MessageCodec::decode_response(parsed);
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded->body.size(), 5000u);
+}
+
+}  // namespace
+}  // namespace catalyst::http::h2

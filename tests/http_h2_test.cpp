@@ -1,0 +1,149 @@
+#include "http/h2/frame.h"
+#include "http/h2/stream.h"
+
+#include <gtest/gtest.h>
+
+namespace catalyst::http::h2 {
+namespace {
+
+TEST(FrameTest, SerializeParseRoundTrip) {
+  Frame original;
+  original.type = FrameType::Headers;
+  original.flags = kFlagEndHeaders | kFlagEndStream;
+  original.stream_id = 5;
+  original.payload = "header-block-bytes";
+
+  FrameReader reader;
+  reader.feed(serialize_frame(original));
+  const auto parsed = reader.next();
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->type, FrameType::Headers);
+  EXPECT_EQ(parsed->flags, original.flags);
+  EXPECT_EQ(parsed->stream_id, 5u);
+  EXPECT_EQ(parsed->payload, original.payload);
+  EXPECT_TRUE(parsed->end_stream());
+  EXPECT_TRUE(parsed->end_headers());
+  EXPECT_FALSE(reader.next());
+}
+
+TEST(FrameTest, WireSizeIsNinePlusPayload) {
+  Frame f;
+  f.payload = "abc";
+  EXPECT_EQ(f.wire_size(), 12u);
+  EXPECT_EQ(serialize_frame(f).size(), 12u);
+}
+
+TEST(FrameTest, IncrementalFeeding) {
+  Frame f;
+  f.type = FrameType::Data;
+  f.stream_id = 3;
+  f.payload = std::string(100, 'x');
+  const std::string wire = serialize_frame(f);
+  FrameReader reader;
+  for (std::size_t i = 0; i < wire.size(); i += 7) {
+    reader.feed(wire.substr(i, 7));
+  }
+  const auto parsed = reader.next();
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->payload.size(), 100u);
+}
+
+TEST(FrameTest, MultipleFramesInOneBuffer) {
+  Frame a, b;
+  a.type = FrameType::Settings;
+  b.type = FrameType::Ping;
+  b.flags = kFlagAck;
+  FrameReader reader;
+  reader.feed(serialize_frame(a) + serialize_frame(b));
+  EXPECT_EQ(reader.next()->type, FrameType::Settings);
+  EXPECT_EQ(reader.next()->type, FrameType::Ping);
+  EXPECT_FALSE(reader.next());
+  EXPECT_EQ(reader.buffered(), 0u);
+}
+
+TEST(FrameTest, ReservedBitMaskedOffStreamId) {
+  Frame f;
+  f.stream_id = 0xFFFFFFFFu;
+  FrameReader reader;
+  reader.feed(serialize_frame(f));
+  EXPECT_EQ(reader.next()->stream_id, 0x7FFFFFFFu);
+}
+
+TEST(PushPromiseTest, PayloadRoundTrip) {
+  const std::string block = encode_header_block(
+      {{":method", "GET"}, {":path", "/a.css"}});
+  const std::string payload = encode_push_promise_payload(4, block);
+  const auto decoded = decode_push_promise_payload(payload);
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded->first, 4u);
+  const auto fields = decode_header_block(decoded->second);
+  ASSERT_TRUE(fields);
+  ASSERT_EQ(fields->size(), 2u);
+  EXPECT_EQ((*fields)[1].second, "/a.css");
+}
+
+TEST(PushPromiseTest, TruncatedPayloadRejected) {
+  EXPECT_FALSE(decode_push_promise_payload("ab"));
+}
+
+TEST(HeaderBlockTest, TruncatedBlockRejected) {
+  const std::string block = encode_header_block({{"name", "value"}});
+  EXPECT_FALSE(decode_header_block(block.substr(0, block.size() - 1)));
+  EXPECT_FALSE(decode_header_block(std::string_view("\x00", 1)));
+}
+
+TEST(HeaderBlockTest, EmptyBlock) {
+  const auto fields = decode_header_block("");
+  ASSERT_TRUE(fields);
+  EXPECT_TRUE(fields->empty());
+}
+
+TEST(StreamTableTest, ClientStreamsAreOdd) {
+  StreamTable table(/*is_client=*/true);
+  EXPECT_EQ(table.open_next(), 1u);
+  EXPECT_EQ(table.open_next(), 3u);
+  EXPECT_EQ(table.state(1), StreamState::Open);
+}
+
+TEST(StreamTableTest, ServerStreamsAreEven) {
+  StreamTable table(/*is_client=*/false);
+  EXPECT_EQ(table.open_next(), 2u);
+  EXPECT_EQ(table.open_next(), 4u);
+}
+
+TEST(StreamTableTest, PushReservationRules) {
+  StreamTable table(/*is_client=*/true);
+  EXPECT_TRUE(table.reserve_pushed(2));
+  EXPECT_EQ(table.state(2), StreamState::ReservedRemote);
+  EXPECT_FALSE(table.reserve_pushed(2));  // ids must grow
+  EXPECT_FALSE(table.reserve_pushed(3));  // odd id cannot be pushed
+  EXPECT_FALSE(table.reserve_pushed(0));
+  EXPECT_TRUE(table.reserve_pushed(4));
+}
+
+TEST(StreamTableTest, LifecycleTransitions) {
+  StreamTable table(/*is_client=*/true);
+  const auto id = table.open_next();
+  table.half_close_local(id);
+  EXPECT_EQ(table.state(id), StreamState::HalfClosedLocal);
+  table.half_close_remote(id);
+  EXPECT_EQ(table.state(id), StreamState::Closed);
+
+  table.reserve_pushed(2);
+  table.half_close_remote(2);  // pushed response completed
+  EXPECT_EQ(table.state(2), StreamState::Closed);
+  EXPECT_EQ(table.state(999), StreamState::Idle);
+}
+
+TEST(StreamTableTest, OpenCount) {
+  StreamTable table(/*is_client=*/true);
+  const auto a = table.open_next();
+  table.open_next();
+  table.reserve_pushed(2);
+  EXPECT_EQ(table.open_count(), 3u);
+  table.close(a);
+  EXPECT_EQ(table.open_count(), 2u);
+}
+
+}  // namespace
+}  // namespace catalyst::http::h2

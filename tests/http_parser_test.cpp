@@ -1,0 +1,114 @@
+#include "http/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "http/serializer.h"
+
+namespace catalyst::http {
+namespace {
+
+TEST(RequestParserTest, ParsesSimpleGet) {
+  RequestParser parser;
+  const auto result = parser.feed(
+      "GET /index.html HTTP/1.1\r\nHost: example.com\r\n\r\n");
+  ASSERT_EQ(result, ParseResult::Done);
+  const Request req = parser.take();
+  EXPECT_EQ(req.method, Method::Get);
+  EXPECT_EQ(req.target, "/index.html");
+  EXPECT_EQ(req.headers.get("host"), "example.com");
+  EXPECT_TRUE(req.body.empty());
+}
+
+TEST(RequestParserTest, IncrementalFeeding) {
+  const std::string wire =
+      "GET /a HTTP/1.1\r\nHost: h\r\nContent-Length: 5\r\n\r\nhello";
+  RequestParser parser;
+  for (std::size_t i = 0; i + 1 < wire.size(); ++i) {
+    ASSERT_EQ(parser.feed(wire.substr(i, 1)), ParseResult::NeedMore)
+        << "at byte " << i;
+  }
+  ASSERT_EQ(parser.feed(wire.substr(wire.size() - 1)), ParseResult::Done);
+  EXPECT_EQ(parser.take().body, "hello");
+}
+
+TEST(RequestParserTest, RoundTripThroughSerializer) {
+  Request original = Request::get("/x?q=1", "host.example");
+  original.headers.add("Cookie", "sid=u1");
+  original.headers.add(kIfNoneMatch, "\"abc\"");
+  RequestParser parser;
+  ASSERT_EQ(parser.feed(serialize(original)), ParseResult::Done);
+  const Request parsed = parser.take();
+  EXPECT_EQ(parsed.method, original.method);
+  EXPECT_EQ(parsed.target, original.target);
+  EXPECT_EQ(parsed.headers, original.headers);
+}
+
+TEST(ResponseParserTest, RoundTripWithBody) {
+  Response original = Response::make(Status::Ok);
+  original.headers.set(kContentType, "text/css");
+  original.body = "body { margin: 0 }";
+  original.finalize(TimePoint{});
+  ResponseParser parser;
+  ASSERT_EQ(parser.feed(serialize(original)), ParseResult::Done);
+  const Response parsed = parser.take();
+  EXPECT_EQ(parsed.status, Status::Ok);
+  EXPECT_EQ(parsed.body, original.body);
+  EXPECT_EQ(parsed.headers, original.headers);
+}
+
+TEST(ResponseParserTest, Parses304WithoutContentLength) {
+  ResponseParser parser;
+  ASSERT_EQ(parser.feed("HTTP/1.1 304 Not Modified\r\nETag: \"x\"\r\n\r\n"),
+            ParseResult::Done);
+  const Response resp = parser.take();
+  EXPECT_EQ(resp.status, Status::NotModified);
+  EXPECT_TRUE(resp.body.empty());
+}
+
+TEST(ParserErrorTest, BytesBeyondContentLength) {
+  RequestParser parser;
+  EXPECT_EQ(parser.feed("GET / HTTP/1.1\r\nContent-Length: 2\r\n\r\nabcd"),
+            ParseResult::Error);
+}
+
+TEST(ParserErrorTest, MalformedContentLength) {
+  RequestParser parser;
+  EXPECT_EQ(parser.feed("GET / HTTP/1.1\r\nContent-Length: nope\r\n\r\n"),
+            ParseResult::Error);
+}
+
+TEST(ParserErrorTest, HeaderNameWithSpace) {
+  RequestParser parser;
+  EXPECT_EQ(parser.feed("GET / HTTP/1.1\r\nBad Name: x\r\n\r\n"),
+            ParseResult::Error);
+}
+
+TEST(ParserErrorTest, MissingColon) {
+  RequestParser parser;
+  EXPECT_EQ(parser.feed("GET / HTTP/1.1\r\nNoColonHere\r\n\r\n"),
+            ParseResult::Error);
+}
+
+TEST(ParserErrorTest, TrailingBytesAfterCompleteMessage) {
+  RequestParser parser;
+  ASSERT_EQ(parser.feed("GET / HTTP/1.1\r\n\r\n"), ParseResult::Done);
+  EXPECT_EQ(parser.feed("extra"), ParseResult::Error);
+}
+
+TEST(ParserTest, ResetAllowsReuse) {
+  RequestParser parser;
+  ASSERT_EQ(parser.feed("GET /1 HTTP/1.1\r\n\r\n"), ParseResult::Done);
+  (void)parser.take();
+  ASSERT_EQ(parser.feed("GET /2 HTTP/1.1\r\n\r\n"), ParseResult::Done);
+  EXPECT_EQ(parser.take().target, "/2");
+}
+
+TEST(ParserTest, HeaderValueWhitespaceTrimmed) {
+  RequestParser parser;
+  ASSERT_EQ(parser.feed("GET / HTTP/1.1\r\nX:   padded   \r\n\r\n"),
+            ParseResult::Done);
+  EXPECT_EQ(parser.take().headers.get("X"), "padded");
+}
+
+}  // namespace
+}  // namespace catalyst::http

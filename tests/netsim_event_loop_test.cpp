@@ -1,0 +1,117 @@
+#include "netsim/event_loop.h"
+
+#include <gtest/gtest.h>
+
+namespace catalyst::netsim {
+namespace {
+
+TEST(EventLoopTest, RunsEventsInTimeOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule_after(milliseconds(20), [&] { order.push_back(2); });
+  loop.schedule_after(milliseconds(10), [&] { order.push_back(1); });
+  loop.schedule_after(milliseconds(30), [&] { order.push_back(3); });
+  EXPECT_EQ(loop.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.now(), TimePoint{} + milliseconds(30));
+}
+
+TEST(EventLoopTest, EqualTimesRunInScheduleOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    loop.schedule_after(milliseconds(5), [&order, i] { order.push_back(i); });
+  }
+  loop.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventLoopTest, EventsCanScheduleMoreEvents) {
+  EventLoop loop;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) loop.schedule_after(milliseconds(1), recurse);
+  };
+  loop.schedule_after(milliseconds(1), recurse);
+  EXPECT_EQ(loop.run(), 5u);
+  EXPECT_EQ(loop.now(), TimePoint{} + milliseconds(5));
+}
+
+TEST(EventLoopTest, NegativeDelayClampsToNow) {
+  EventLoop loop;
+  loop.schedule_after(milliseconds(10), [] {});
+  loop.run();
+  bool ran = false;
+  loop.schedule_after(milliseconds(-5), [&] { ran = true; });
+  loop.run();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(loop.now(), TimePoint{} + milliseconds(10));
+}
+
+TEST(EventLoopTest, CancelPreventsExecution) {
+  EventLoop loop;
+  bool ran = false;
+  const EventId id = loop.schedule_after(milliseconds(1), [&] { ran = true; });
+  loop.cancel(id);
+  EXPECT_EQ(loop.run(), 0u);
+  EXPECT_FALSE(ran);
+  loop.cancel(id);       // double-cancel is a no-op
+  loop.cancel(9999999);  // unknown id is a no-op
+}
+
+TEST(EventLoopTest, PendingCountsExcludeCancelled) {
+  EventLoop loop;
+  const EventId a = loop.schedule_after(milliseconds(1), [] {});
+  loop.schedule_after(milliseconds(2), [] {});
+  EXPECT_EQ(loop.pending(), 2u);
+  loop.cancel(a);
+  EXPECT_EQ(loop.pending(), 1u);
+  EXPECT_FALSE(loop.empty());
+  loop.run();
+  EXPECT_TRUE(loop.empty());
+}
+
+TEST(EventLoopTest, RunUntilStopsAtDeadline) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule_after(milliseconds(10), [&] { order.push_back(1); });
+  loop.schedule_after(milliseconds(30), [&] { order.push_back(2); });
+  EXPECT_EQ(loop.run_until(TimePoint{} + milliseconds(20)), 1u);
+  EXPECT_EQ(order, (std::vector<int>{1}));
+  // Clock advanced to the deadline even though no event sat there.
+  EXPECT_EQ(loop.now(), TimePoint{} + milliseconds(20));
+  loop.run();
+  EXPECT_EQ(order.size(), 2u);
+}
+
+TEST(EventLoopTest, AdvanceToRequiresEmptyQueue) {
+  EventLoop loop;
+  loop.schedule_after(milliseconds(1), [] {});
+  EXPECT_THROW(loop.advance_to(TimePoint{} + hours(1)), std::logic_error);
+  loop.run();
+  loop.advance_to(TimePoint{} + hours(1));
+  EXPECT_EQ(loop.now(), TimePoint{} + hours(1));
+  // Moving backwards is ignored.
+  loop.advance_to(TimePoint{} + minutes(1));
+  EXPECT_EQ(loop.now(), TimePoint{} + hours(1));
+}
+
+TEST(EventLoopTest, AdvanceToAllowedAfterCancellingAll) {
+  EventLoop loop;
+  const EventId id = loop.schedule_after(milliseconds(1), [] {});
+  loop.cancel(id);
+  loop.advance_to(TimePoint{} + seconds(1));  // must not throw
+  EXPECT_EQ(loop.now(), TimePoint{} + seconds(1));
+}
+
+TEST(EventLoopTest, StartTimeConstructor) {
+  EventLoop loop(TimePoint{} + days(3));
+  EXPECT_EQ(loop.now(), TimePoint{} + days(3));
+  TimePoint observed{};
+  loop.schedule_after(seconds(1), [&] { observed = loop.now(); });
+  loop.run();
+  EXPECT_EQ(observed, TimePoint{} + days(3) + seconds(1));
+}
+
+}  // namespace
+}  // namespace catalyst::netsim

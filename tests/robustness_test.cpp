@@ -1,0 +1,186 @@
+// Failure injection: the system must degrade gracefully, never hang, and
+// never serve wrong bytes — under missing resources, hostile headers and
+// cache-capacity pressure.
+#include <gtest/gtest.h>
+
+#include "client/browser.h"
+#include "core/experiment.h"
+#include "html/generate.h"
+#include "workload/sitegen.h"
+
+namespace catalyst {
+namespace {
+
+using core::StrategyKind;
+
+std::shared_ptr<server::Site> site_with_dangling_links() {
+  auto site = std::make_shared<server::Site>("broken.example");
+  site->add_resource(std::make_unique<server::Resource>(
+      "/index.html", http::ResourceClass::Html, 0,
+      [](std::uint64_t) {
+        html::HtmlBuilder page("broken");
+        page.add_stylesheet("/exists.css");
+        page.add_stylesheet("/missing.css");   // 404
+        page.add_image("/gone.webp");          // 404
+        page.add_script("/no-such.js");        // 404, parser-blocking
+        return page.build();
+      },
+      server::ChangeProcess::never(),
+      http::CacheControl::revalidate_always()));
+  site->add_resource(std::make_unique<server::Resource>(
+      "/exists.css", http::ResourceClass::Css, 2048,
+      [](std::uint64_t v) { return html::make_css({}, {}, {}, 2048, v); },
+      server::ChangeProcess::never(),
+      http::CacheControl::with_max_age(hours(1))));
+  return site;
+}
+
+TEST(RobustnessTest, DanglingLinksComplete) {
+  auto tb = core::make_testbed(site_with_dangling_links(),
+                               netsim::NetworkConditions::median_5g(),
+                               StrategyKind::Baseline);
+  const auto result = core::run_visit(tb, TimePoint{});
+  EXPECT_EQ(result.resources_total, 5u);  // html + 4 subresources
+  EXPECT_GT(result.plt(), Duration::zero());
+  // 404s are not cached (no validators/freshness on our 404s).
+  EXPECT_FALSE(
+      tb.browser->http_cache().contains("https://broken.example/gone.webp"));
+}
+
+TEST(RobustnessTest, DanglingLinksUnderCatalyst) {
+  auto tb = core::make_testbed(site_with_dangling_links(),
+                               netsim::NetworkConditions::median_5g(),
+                               StrategyKind::Catalyst);
+  (void)core::run_visit(tb, TimePoint{});
+  const auto revisit = core::run_visit(tb, TimePoint{} + hours(1));
+  EXPECT_EQ(revisit.resources_total, 5u);
+  // The one real resource is served by the SW; the 404s re-fetch.
+  EXPECT_EQ(revisit.from_sw_cache, 1u);
+}
+
+TEST(RobustnessTest, MalformedEtagConfigHeaderIsIgnored) {
+  // A buggy/hostile origin sends garbage in X-Etag-Config: the Service
+  // Worker must keep working as a transparent proxy.
+  netsim::EventLoop loop;
+  netsim::Network net(loop);
+  net.add_host("client");
+  net.add_host("evil.example");
+  net.set_rtt("client", "evil.example", milliseconds(20));
+  net.host("evil.example")
+      .set_handler([&](const http::Request& req, auto respond) {
+        netsim::ServerReply reply;
+        reply.response = http::Response::make(http::Status::Ok);
+        if (req.target == "/index.html") {
+          html::HtmlBuilder page("evil");
+          page.add_stylesheet("/a.css");
+          reply.response.body = page.build();
+          reply.response.headers.set(http::kXEtagConfig,
+                                     "{{{{not json at all");
+          reply.response.headers.set(http::kContentType, "text/html");
+        } else {
+          reply.response.body = "css";
+          reply.response.headers.set(
+              http::kEtagHeader,
+              http::make_content_etag("css").to_string());
+        }
+        reply.response.finalize(loop.now());
+        respond(std::move(reply));
+      });
+
+  client::BrowserConfig bc;
+  bc.service_workers_enabled = true;
+  client::Browser browser(net, bc);
+  // Pre-register a worker with an (empty) state for the origin.
+  browser.register_service_worker("evil.example", {});
+
+  bool done = false;
+  browser.load_page(*Url::parse("https://evil.example/index.html"),
+                    [&](client::PageLoadResult result) {
+                      done = true;
+                      EXPECT_EQ(result.resources_total, 2u);
+                    });
+  loop.run();
+  EXPECT_TRUE(done);
+  // The malformed map was rejected; no map installed.
+  EXPECT_EQ(browser.service_worker("evil.example").current_map(), nullptr);
+}
+
+TEST(RobustnessTest, TinyHttpCacheEvictsButStaysCorrect) {
+  workload::SitegenParams params;
+  params.seed = 31;
+  params.site_index = 0;
+  auto site = workload::generate_site(params);
+
+  auto tb = core::make_testbed(site, netsim::NetworkConditions::median_5g(),
+                               StrategyKind::Baseline);
+  // Shrink the cache far below the page weight by replacing the browser.
+  client::BrowserConfig bc;
+  bc.http_cache_capacity = KiB(64);
+  tb.browser = std::make_unique<client::Browser>(*tb.network, bc);
+
+  (void)core::run_visit(tb, TimePoint{});
+  const auto revisit = core::run_visit(tb, TimePoint{} + minutes(1));
+  // Mostly evicted: the revisit re-downloads most bytes, but completes.
+  EXPECT_GT(revisit.from_network, revisit.resources_total / 2);
+  EXPECT_GT(tb.browser->http_cache().stats().misses, 0u);
+}
+
+TEST(RobustnessTest, TinySwCacheFallsBackToRevalidation) {
+  workload::SitegenParams params;
+  params.seed = 32;
+  params.site_index = 1;
+  params.clone_static_snapshot = true;
+  auto site = workload::generate_site(params);
+
+  auto tb = core::make_testbed(site, netsim::NetworkConditions::median_5g(),
+                               StrategyKind::Catalyst);
+  client::BrowserConfig bc;
+  bc.service_workers_enabled = true;
+  bc.sw_cache_capacity = KiB(32);  // holds almost nothing
+  tb.browser = std::make_unique<client::Browser>(*tb.network, bc);
+
+  (void)core::run_visit(tb, TimePoint{});
+  const auto revisit = core::run_visit(tb, TimePoint{} + hours(1));
+  // Few/no SW hits, but the page still loads fully and correctly (map-
+  // covered-but-evicted resources revalidate).
+  EXPECT_LT(revisit.from_sw_cache, 10u);
+  EXPECT_EQ(revisit.resources_total,
+            core::run_revisit_pair(site,
+                                   netsim::NetworkConditions::median_5g(),
+                                   StrategyKind::Baseline, hours(1))
+                .revisit.resources_total);
+}
+
+TEST(RobustnessTest, NoStoreNeverLandsInAnyCache) {
+  workload::SitegenParams params;
+  params.seed = 33;
+  params.site_index = 2;
+  auto site = workload::generate_site(params);
+  auto tb = core::make_testbed(site, netsim::NetworkConditions::median_5g(),
+                               StrategyKind::Catalyst);
+  (void)core::run_visit(tb, TimePoint{});
+  tb.loop->run();
+  for (const auto& [path, resource] : site->resources()) {
+    if (!resource->cache_policy().no_store) continue;
+    const std::string url = "https://" + site->host() + path;
+    EXPECT_FALSE(tb.browser->http_cache().contains(url)) << path;
+    EXPECT_FALSE(
+        tb.browser->service_worker(site->host()).cache().contains(path))
+        << path;
+  }
+}
+
+TEST(RobustnessTest, ZeroDelayRevisitWorks) {
+  workload::SitegenParams params;
+  params.seed = 34;
+  params.site_index = 3;
+  auto site = workload::generate_site(params);
+  const auto outcome = core::run_revisit_pair(
+      site, netsim::NetworkConditions::median_5g(),
+      StrategyKind::Catalyst, Duration::zero());
+  EXPECT_GT(outcome.revisit.resources_total, 0u);
+  EXPECT_LE(outcome.revisit.plt(), outcome.cold.plt());
+}
+
+}  // namespace
+}  // namespace catalyst

@@ -1,0 +1,191 @@
+#include "server/catalyst_module.h"
+
+#include <gtest/gtest.h>
+
+#include "html/parser.h"
+#include "server/static_handler.h"
+
+namespace catalyst::server {
+namespace {
+
+/// index.html -> a.css (+ hero.webp via HTML), a.css -> f.woff2 + bg.webp
+/// and @imports sub.css; app.js is linked from HTML; lazy.json only ever
+/// fetched by JS (not statically discoverable).
+std::unique_ptr<Site> make_site() {
+  auto site = std::make_unique<Site>("example.com");
+  auto add = [&](const std::string& path, http::ResourceClass rc,
+                 std::string content) {
+    site->add_resource(std::make_unique<Resource>(
+        path, rc, content.size(),
+        [content = std::move(content)](std::uint64_t version) {
+          return content + "<!-- v" + std::to_string(version) + " -->";
+        },
+        ChangeProcess::never(), http::CacheControl::revalidate_always()));
+  };
+  add("/index.html", http::ResourceClass::Html,
+      "<html><head><link rel=\"stylesheet\" href=\"/a.css\"></head>"
+      "<body><script src=\"/app.js\"></script>"
+      "<img src=\"/hero.webp\">"
+      "<img src=\"https://cdn.other.com/x.png\">"
+      "</body></html>");
+  add("/a.css", http::ResourceClass::Css,
+      "@import \"/sub.css\";\n"
+      "@font-face { src: url(\"/f.woff2\") }\n"
+      ".bg { background: url(\"/bg.webp\") }\n");
+  add("/sub.css", http::ResourceClass::Css, ".x { color: red }\n");
+  add("/app.js", http::ResourceClass::Script,
+      "/* @fetch /lazy.json */\n");
+  add("/hero.webp", http::ResourceClass::Image, "hero");
+  add("/bg.webp", http::ResourceClass::Image, "bg");
+  add("/f.woff2", http::ResourceClass::Font, "font");
+  add("/lazy.json", http::ResourceClass::Json, "{}");
+  return site;
+}
+
+TEST(ResolveSameOriginTest, Cases) {
+  EXPECT_EQ(resolve_same_origin("h.com", "/dir/page.html", "/abs.css"),
+            "/abs.css");
+  EXPECT_EQ(resolve_same_origin("h.com", "/dir/page.html", "rel.css"),
+            "/dir/rel.css");
+  EXPECT_EQ(resolve_same_origin("h.com", "/p", "https://h.com/x.css"),
+            "/x.css");
+  EXPECT_EQ(resolve_same_origin("h.com", "/p", "https://other.com/x.css"),
+            "");
+  EXPECT_EQ(resolve_same_origin("h.com", "/p", "//cdn.com/x.css"), "");
+  EXPECT_EQ(resolve_same_origin("h.com", "/p", ""), "");
+}
+
+class CatalystModuleFixture : public ::testing::Test {
+ protected:
+  CatalystModuleFixture() : site_(make_site()) {}
+
+  CatalystModule module(CatalystConfig config = {}) {
+    return CatalystModule(*site_, config);
+  }
+
+  std::unique_ptr<Site> site_;
+};
+
+TEST_F(CatalystModuleFixture, MapCoversStaticClosureOnly) {
+  CatalystModule mod = module();
+  const Resource* html = site_->find("/index.html");
+  const auto map = mod.build_map(*html, TimePoint{}, {});
+  // HTML links + CSS closure, same-origin only; JS-fetched lazy.json and
+  // the cross-origin image are absent.
+  EXPECT_TRUE(map.find("/a.css"));
+  EXPECT_TRUE(map.find("/app.js"));
+  EXPECT_TRUE(map.find("/hero.webp"));
+  EXPECT_TRUE(map.find("/sub.css"));
+  EXPECT_TRUE(map.find("/f.woff2"));
+  EXPECT_TRUE(map.find("/bg.webp"));
+  EXPECT_FALSE(map.find("/lazy.json"));
+  EXPECT_FALSE(map.find("/index.html"));
+  EXPECT_EQ(map.size(), 6u);
+}
+
+TEST_F(CatalystModuleFixture, MapEtagsMatchCurrentResourceEtags) {
+  CatalystModule mod = module();
+  const auto map =
+      mod.build_map(*site_->find("/index.html"), TimePoint{}, {});
+  for (const auto& [path, etag] : map.entries()) {
+    const Resource* r = site_->find(path);
+    ASSERT_NE(r, nullptr) << path;
+    EXPECT_TRUE(etag.weak_equals(r->etag_at(TimePoint{}))) << path;
+  }
+}
+
+TEST_F(CatalystModuleFixture, CssClosureToggle) {
+  CatalystConfig config;
+  config.css_closure = false;
+  CatalystModule mod = module(config);
+  const auto map =
+      mod.build_map(*site_->find("/index.html"), TimePoint{}, {});
+  EXPECT_TRUE(map.find("/a.css"));
+  EXPECT_FALSE(map.find("/f.woff2"));
+  EXPECT_FALSE(map.find("/sub.css"));
+}
+
+TEST_F(CatalystModuleFixture, SessionLearningMergesJsResources) {
+  CatalystConfig config;
+  config.session_learning = true;
+  CatalystModule mod = module(config);
+  const auto map = mod.build_map(*site_->find("/index.html"), TimePoint{},
+                                 {"/lazy.json", "/unknown.bin",
+                                  "https://other.com/x.png"});
+  EXPECT_TRUE(map.find("/lazy.json"));
+  EXPECT_FALSE(map.find("/unknown.bin"));     // not a real resource
+  EXPECT_EQ(map.size(), 7u);
+}
+
+TEST_F(CatalystModuleFixture, SessionLearningOffIgnoresLearnedUrls) {
+  CatalystModule mod = module();
+  const auto map = mod.build_map(*site_->find("/index.html"), TimePoint{},
+                                 {"/lazy.json"});
+  EXPECT_FALSE(map.find("/lazy.json"));
+}
+
+TEST_F(CatalystModuleFixture, DecorateHtmlAddsHeaderAndSwSnippet) {
+  CatalystModule mod = module();
+  StaticHandler handler(*site_);
+  http::Response resp = handler.handle(
+      http::Request::get("/index.html", "example.com"), TimePoint{});
+  const ByteCount before = resp.body.size();
+  const Duration cost = mod.decorate_html(
+      http::Request::get("/index.html", "example.com"), resp,
+      *site_->find("/index.html"), TimePoint{}, {});
+  EXPECT_GT(cost, Duration::zero());
+  ASSERT_TRUE(resp.headers.contains(http::kXEtagConfig));
+  const auto map = http::EtagConfig::parse(
+      *resp.headers.get(http::kXEtagConfig));
+  ASSERT_TRUE(map);
+  EXPECT_EQ(map->size(), 6u);
+  // SW registration injected before </body>, Content-Length refreshed.
+  EXPECT_GT(resp.body.size(), before);
+  EXPECT_NE(resp.body.find("serviceWorker"), std::string::npos);
+  EXPECT_NE(resp.body.find(CatalystModule::kSwPath), std::string::npos);
+  EXPECT_LT(resp.body.find("serviceWorker"), resp.body.rfind("</body>"));
+  EXPECT_EQ(resp.headers.get(http::kContentLength),
+            std::to_string(resp.body.size()));
+}
+
+TEST_F(CatalystModuleFixture, Decorate304CarriesMapWithoutBody) {
+  CatalystModule mod = module();
+  http::Response resp = http::Response::make(http::Status::NotModified);
+  mod.decorate_html(http::Request::get("/index.html", "example.com"), resp,
+                    *site_->find("/index.html"), TimePoint{}, {});
+  EXPECT_TRUE(resp.headers.contains(http::kXEtagConfig));
+  EXPECT_TRUE(resp.body.empty());
+}
+
+TEST_F(CatalystModuleFixture, ScanMemoizationAvoidsRescans) {
+  CatalystModule mod = module();
+  const Resource* html = site_->find("/index.html");
+  mod.build_map(*html, TimePoint{}, {});
+  const auto scans_after_first = mod.stats().scans_performed;
+  mod.build_map(*html, TimePoint{}, {});
+  EXPECT_EQ(mod.stats().scans_performed, scans_after_first);
+  EXPECT_GT(mod.stats().scan_memo_hits, 0u);
+}
+
+TEST_F(CatalystModuleFixture, MemoizationOffRescansEveryServe) {
+  CatalystConfig config;
+  config.memoize_scans = false;
+  CatalystModule mod = module(config);
+  const Resource* html = site_->find("/index.html");
+  mod.build_map(*html, TimePoint{}, {});
+  const auto first = mod.stats().scans_performed;
+  mod.build_map(*html, TimePoint{}, {});
+  EXPECT_GT(mod.stats().scans_performed, first);
+}
+
+TEST_F(CatalystModuleFixture, SwScriptServedWithRevalidationPolicy) {
+  CatalystModule mod = module();
+  const auto resp = mod.serve_sw_script(TimePoint{});
+  EXPECT_EQ(resp.status, http::Status::Ok);
+  EXPECT_EQ(resp.body.size(), CatalystConfig{}.sw_script_size);
+  EXPECT_TRUE(resp.etag());
+  EXPECT_TRUE(resp.cache_control().no_cache);
+}
+
+}  // namespace
+}  // namespace catalyst::server

@@ -1,0 +1,80 @@
+#include "server/resource.h"
+#include "server/site.h"
+
+#include <gtest/gtest.h>
+
+namespace catalyst::server {
+namespace {
+
+std::unique_ptr<Resource> versioned_resource(const std::string& path) {
+  return std::make_unique<Resource>(
+      path, http::ResourceClass::Css, 100,
+      [path](std::uint64_t version) {
+        return path + " content v" + std::to_string(version);
+      },
+      ChangeProcess::periodic(hours(1), hours(1), days(1)),
+      http::CacheControl::with_max_age(minutes(5)));
+}
+
+TEST(ResourceTest, ContentFollowsVersion) {
+  const auto r = versioned_resource("/a.css");
+  EXPECT_EQ(r->version_at(TimePoint{}), 0u);
+  EXPECT_EQ(r->content_at(TimePoint{}), "/a.css content v0");
+  EXPECT_EQ(r->content_at(TimePoint{} + hours(2)), "/a.css content v2");
+}
+
+TEST(ResourceTest, EtagChangesExactlyWithContent) {
+  const auto r = versioned_resource("/a.css");
+  const auto e0 = r->etag_at(TimePoint{});
+  const auto e0b = r->etag_at(TimePoint{} + minutes(30));
+  const auto e1 = r->etag_at(TimePoint{} + hours(1));
+  EXPECT_EQ(e0, e0b);
+  EXPECT_NE(e0.value, e1.value);
+}
+
+TEST(ResourceTest, MemoizationReturnsSameBuffer) {
+  const auto r = versioned_resource("/a.css");
+  const std::string* p1 = &r->content_at(TimePoint{});
+  const std::string* p2 = &r->content_at(TimePoint{} + minutes(1));
+  EXPECT_EQ(p1, p2);
+}
+
+TEST(ResourceTest, LastModifiedTracksChanges) {
+  const auto r = versioned_resource("/a.css");
+  EXPECT_EQ(r->last_modified_at(TimePoint{}), TimePoint{});
+  EXPECT_EQ(r->last_modified_at(TimePoint{} + hours(3) + minutes(30)),
+            TimePoint{} + hours(3));
+}
+
+TEST(ResourceTest, RequiresGenerator) {
+  EXPECT_THROW(Resource("/x", http::ResourceClass::Other, 1, nullptr,
+                        ChangeProcess::never(), http::CacheControl{}),
+               std::invalid_argument);
+}
+
+TEST(SiteTest, AddAndFind) {
+  Site site("example.com");
+  site.add_resource(versioned_resource("/a.css"));
+  site.add_resource(versioned_resource("/b.css"));
+  EXPECT_NE(site.find("/a.css"), nullptr);
+  EXPECT_EQ(site.find("/missing"), nullptr);
+  EXPECT_EQ(site.resource_count(), 2u);
+  EXPECT_EQ(site.total_bytes(), 200u);
+}
+
+TEST(SiteTest, DuplicatePathRejected) {
+  Site site("example.com");
+  site.add_resource(versioned_resource("/a.css"));
+  EXPECT_THROW(site.add_resource(versioned_resource("/a.css")),
+               std::invalid_argument);
+}
+
+TEST(SiteTest, IndexPathDefaultsAndOverrides) {
+  Site site("example.com");
+  EXPECT_EQ(site.index_path(), "/index.html");
+  site.set_index_path("/");
+  EXPECT_EQ(site.index_path(), "/");
+}
+
+}  // namespace
+}  // namespace catalyst::server

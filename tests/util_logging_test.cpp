@@ -1,0 +1,60 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace catalyst {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(log_level()) {}
+  ~LogLevelGuard() { set_log_level(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(LoggingTest, LevelRoundTrip) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::Debug);
+  EXPECT_EQ(log_level(), LogLevel::Debug);
+  set_log_level(LogLevel::Error);
+  EXPECT_EQ(log_level(), LogLevel::Error);
+}
+
+TEST(LoggingTest, CapturedStderrRespectsLevel) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::Warn);
+  ::testing::internal::CaptureStderr();
+  Logger logger("test");
+  logger.debug() << "dropped";
+  logger.info() << "dropped too";
+  logger.warn() << "kept " << 42;
+  logger.error() << "kept-error";
+  const std::string out = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(out.find("dropped"), std::string::npos);
+  EXPECT_NE(out.find("kept 42"), std::string::npos);
+  EXPECT_NE(out.find("kept-error"), std::string::npos);
+  EXPECT_NE(out.find("WARN"), std::string::npos);
+  EXPECT_NE(out.find("test"), std::string::npos);
+}
+
+TEST(LoggingTest, OffSilencesEverything) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::Off);
+  ::testing::internal::CaptureStderr();
+  Logger("x").error() << "silent";
+  EXPECT_TRUE(::testing::internal::GetCapturedStderr().empty());
+}
+
+TEST(LoggingTest, DirectLogMessage) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::Info);
+  ::testing::internal::CaptureStderr();
+  log_message(LogLevel::Info, "comp", "hello");
+  const std::string out = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("comp: hello"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace catalyst

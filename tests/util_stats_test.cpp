@@ -1,0 +1,98 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace catalyst {
+namespace {
+
+TEST(SummaryTest, BasicMoments) {
+  Summary s;
+  s.add_all({1.0, 2.0, 3.0, 4.0});
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.sum(), 10.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  // Sample stddev of {1,2,3,4} = sqrt(5/3).
+  EXPECT_NEAR(s.stddev(), std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(SummaryTest, EmptyThrows) {
+  Summary s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_THROW(s.mean(), std::logic_error);
+  EXPECT_THROW(s.median(), std::logic_error);
+  EXPECT_THROW(s.min(), std::logic_error);
+}
+
+TEST(SummaryTest, SingleSample) {
+  Summary s;
+  s.add(7.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 7.0);
+  EXPECT_DOUBLE_EQ(s.median(), 7.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.ci95_halfwidth(), 0.0);
+}
+
+TEST(SummaryTest, MedianAndPercentiles) {
+  Summary s;
+  s.add_all({5.0, 1.0, 3.0, 2.0, 4.0});
+  EXPECT_DOUBLE_EQ(s.median(), 3.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 5.0);
+  EXPECT_DOUBLE_EQ(s.percentile(25), 2.0);
+  // Interpolation between ranks.
+  Summary two;
+  two.add_all({10.0, 20.0});
+  EXPECT_DOUBLE_EQ(two.percentile(50), 15.0);
+}
+
+TEST(SummaryTest, PercentileAfterLaterAdds) {
+  Summary s;
+  s.add(1.0);
+  EXPECT_DOUBLE_EQ(s.median(), 1.0);
+  s.add(3.0);  // must invalidate the sorted cache
+  EXPECT_DOUBLE_EQ(s.median(), 2.0);
+}
+
+TEST(SummaryTest, Ci95ShrinksWithN) {
+  Summary small, large;
+  for (int i = 0; i < 10; ++i) small.add(i % 2 == 0 ? 1.0 : 2.0);
+  for (int i = 0; i < 1000; ++i) large.add(i % 2 == 0 ? 1.0 : 2.0);
+  EXPECT_GT(small.ci95_halfwidth(), large.ci95_halfwidth());
+}
+
+TEST(HistogramTest, BinningAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);    // bin 0
+  h.add(9.9);    // bin 4
+  h.add(-3.0);   // clamps to bin 0
+  h.add(100.0);  // clamps to bin 4
+  h.add(5.0);    // bin 2
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(2), 1u);
+  EXPECT_EQ(h.count(4), 2u);
+  EXPECT_EQ(h.total(), 5u);
+}
+
+TEST(HistogramTest, RejectsDegenerateConfig) {
+  EXPECT_THROW(Histogram(0.0, 0.0, 5), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(HistogramTest, SparklineWidthMatchesBins) {
+  Histogram h(0.0, 1.0, 8);
+  h.add(0.1);
+  const std::string line = h.sparkline();
+  // Unicode blocks are 3 bytes each.
+  std::size_t glyphs = 0;
+  for (char c : line) {
+    if ((static_cast<unsigned char>(c) & 0xC0) != 0x80) ++glyphs;
+  }
+  EXPECT_EQ(glyphs, 8u);
+}
+
+}  // namespace
+}  // namespace catalyst

@@ -1,0 +1,91 @@
+#include "util/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace catalyst {
+namespace {
+
+TEST(StringsTest, AsciiClassifiers) {
+  EXPECT_EQ(ascii_tolower('A'), 'a');
+  EXPECT_EQ(ascii_tolower('z'), 'z');
+  EXPECT_EQ(ascii_tolower('0'), '0');
+  EXPECT_TRUE(ascii_isspace(' '));
+  EXPECT_TRUE(ascii_isspace('\t'));
+  EXPECT_FALSE(ascii_isspace('x'));
+  EXPECT_TRUE(ascii_isdigit('5'));
+  EXPECT_FALSE(ascii_isdigit('a'));
+  EXPECT_TRUE(ascii_isalpha('Q'));
+  EXPECT_FALSE(ascii_isalpha('!'));
+}
+
+TEST(StringsTest, ToLower) {
+  EXPECT_EQ(to_lower("Content-TYPE"), "content-type");
+  EXPECT_EQ(to_lower(""), "");
+}
+
+TEST(StringsTest, IEquals) {
+  EXPECT_TRUE(iequals("ETag", "etag"));
+  EXPECT_TRUE(iequals("", ""));
+  EXPECT_FALSE(iequals("etag", "etags"));
+  EXPECT_FALSE(iequals("etag", "etah"));
+}
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim("\t\r\nabc\n"), "abc");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("no-trim"), "no-trim");
+}
+
+TEST(StringsTest, SplitKeepsEmptyPieces) {
+  const auto parts = split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringsTest, SplitSingle) {
+  const auto parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(StringsTest, StartsEndsWith) {
+  EXPECT_TRUE(starts_with("/index.html", "/"));
+  EXPECT_FALSE(starts_with("x", "xy"));
+  EXPECT_TRUE(ends_with("style.css", ".css"));
+  EXPECT_FALSE(ends_with("css", ".css"));
+  EXPECT_TRUE(istarts_with("HTTP/1.1", "http/"));
+}
+
+TEST(StringsTest, ParseU64) {
+  std::uint64_t v = 0;
+  EXPECT_TRUE(parse_u64("0", v));
+  EXPECT_EQ(v, 0u);
+  EXPECT_TRUE(parse_u64("18446744073709551615", v));
+  EXPECT_EQ(v, std::uint64_t(-1));
+  EXPECT_FALSE(parse_u64("18446744073709551616", v));  // overflow
+  EXPECT_FALSE(parse_u64("", v));
+  EXPECT_FALSE(parse_u64("12x", v));
+  EXPECT_FALSE(parse_u64("-3", v));
+}
+
+TEST(StringsTest, StrFormat) {
+  EXPECT_EQ(str_format("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(str_format("%s", ""), "");
+  // Long outputs are not truncated.
+  const std::string big(500, 'a');
+  EXPECT_EQ(str_format("%s", big.c_str()).size(), 500u);
+}
+
+TEST(StringsTest, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ", "), "");
+  EXPECT_EQ(join({"only"}, ", "), "only");
+}
+
+}  // namespace
+}  // namespace catalyst

@@ -1,0 +1,53 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace catalyst {
+namespace {
+
+TEST(TableTest, RendersHeaderAndRows) {
+  Table t("Title");
+  t.set_header({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("Title"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+  // Box-drawing present.
+  EXPECT_NE(out.find("┌"), std::string::npos);
+  EXPECT_NE(out.find("└"), std::string::npos);
+}
+
+TEST(TableTest, RowsMustMatchHeaderWidth) {
+  Table t("");
+  t.set_header({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TableTest, AllLinesEqualDisplayWidth) {
+  Table t("");
+  t.set_header({"col", "x"});
+  t.add_row({"with unicode ±", "1.5%"});
+  t.add_separator();
+  t.add_row({"ascii", "200"});
+  const std::string out = t.render();
+  std::size_t expected = 0;
+  std::size_t line_start = 0;
+  for (std::size_t i = 0; i <= out.size(); ++i) {
+    if (i == out.size() || out[i] == '\n') {
+      std::size_t width = 0;
+      for (std::size_t j = line_start; j < i; ++j) {
+        if ((static_cast<unsigned char>(out[j]) & 0xC0) != 0x80) ++width;
+      }
+      if (width > 0) {
+        if (expected == 0) expected = width;
+        EXPECT_EQ(width, expected);
+      }
+      line_start = i + 1;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace catalyst

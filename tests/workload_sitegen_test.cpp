@@ -1,0 +1,204 @@
+#include "workload/sitegen.h"
+
+#include <gtest/gtest.h>
+
+#include "html/link_extract.h"
+#include "html/parser.h"
+#include "server/catalyst_module.h"
+#include "workload/distributions.h"
+
+namespace catalyst::workload {
+namespace {
+
+SitegenParams params_for(int index, bool clone = false) {
+  SitegenParams p;
+  p.seed = 99;
+  p.site_index = index;
+  p.clone_static_snapshot = clone;
+  return p;
+}
+
+TEST(SitegenTest, DeterministicForSeed) {
+  const auto a = generate_site(params_for(3));
+  const auto b = generate_site(params_for(3));
+  ASSERT_EQ(a->resource_count(), b->resource_count());
+  EXPECT_EQ(a->total_bytes(), b->total_bytes());
+  for (const auto& [path, resource] : a->resources()) {
+    const server::Resource* other = b->find(path);
+    ASSERT_NE(other, nullptr) << path;
+    EXPECT_EQ(resource->etag_at(TimePoint{}).value,
+              other->etag_at(TimePoint{}).value)
+        << path;
+    EXPECT_EQ(resource->cache_policy(), other->cache_policy()) << path;
+  }
+}
+
+TEST(SitegenTest, DifferentIndicesDiffer) {
+  const auto a = generate_site(params_for(1));
+  const auto b = generate_site(params_for(2));
+  EXPECT_NE(a->host(), b->host());
+  EXPECT_NE(a->total_bytes(), b->total_bytes());
+}
+
+TEST(SitegenTest, RealisticComposition) {
+  // Across a small corpus: page weight and resource counts in the
+  // httparchive ballpark the paper cites (~2.5 MB, tens to ~150
+  // same-origin resources).
+  double total_bytes = 0.0, total_count = 0.0;
+  const int n = 20;
+  for (int i = 0; i < n; ++i) {
+    const auto site = generate_site(params_for(i));
+    total_bytes += static_cast<double>(site->total_bytes());
+    total_count += static_cast<double>(site->resource_count());
+    EXPECT_GE(site->resource_count(), 10u);
+    EXPECT_LE(site->resource_count(), 200u);
+  }
+  EXPECT_GT(total_bytes / n, 1.0 * 1024 * 1024);
+  EXPECT_LT(total_bytes / n, 5.0 * 1024 * 1024);
+  EXPECT_GT(total_count / n, 30.0);
+}
+
+TEST(SitegenTest, IndexParsesAndLinksResolve) {
+  const auto site = generate_site(params_for(4));
+  const server::Resource* index = site->find(site->index_path());
+  ASSERT_NE(index, nullptr);
+  const auto doc = html::parse(index->content_at(TimePoint{}));
+  const auto found = html::extract_resources(*doc);
+  EXPECT_GT(found.size(), 5u);
+  for (const auto& dr : found) {
+    EXPECT_NE(site->find(dr.url), nullptr) << dr.url << " is dangling";
+  }
+}
+
+TEST(SitegenTest, CssReferencesResolve) {
+  const auto site = generate_site(params_for(5));
+  server::CatalystModule linker(*site, {});
+  const auto paths =
+      linker.linked_paths(*site->find(site->index_path()), TimePoint{});
+  for (const std::string& path : paths) {
+    EXPECT_NE(site->find(path), nullptr) << path << " is dangling";
+  }
+}
+
+TEST(SitegenTest, JsChainTargetsExist) {
+  const auto site = generate_site(params_for(6));
+  for (const auto& [path, resource] : site->resources()) {
+    if (resource->resource_class() != http::ResourceClass::Script) continue;
+    for (const std::string& url :
+         html::extract_js_fetches(resource->content_at(TimePoint{}))) {
+      EXPECT_NE(site->find(url), nullptr)
+          << path << " fetches dangling " << url;
+    }
+  }
+}
+
+TEST(SitegenTest, CloneModeFreezesContent) {
+  const auto site = generate_site(params_for(7, /*clone=*/true));
+  for (const auto& [path, resource] : site->resources()) {
+    EXPECT_EQ(resource->version_at(TimePoint{} + days(14)), 0u) << path;
+  }
+}
+
+TEST(SitegenTest, CloneModeJsonIsNotNoStoreHeavy) {
+  int live_no_store = 0, clone_no_store = 0, live_json = 0, clone_json = 0;
+  for (int i = 0; i < 10; ++i) {
+    const auto live = generate_site(params_for(i));
+    const auto clone = generate_site(params_for(i, /*clone=*/true));
+    for (const auto& [path, r] : live->resources()) {
+      if (r->resource_class() == http::ResourceClass::Json) {
+        ++live_json;
+        if (r->cache_policy().no_store) ++live_no_store;
+      }
+    }
+    for (const auto& [path, r] : clone->resources()) {
+      if (r->resource_class() == http::ResourceClass::Json) {
+        ++clone_json;
+        if (r->cache_policy().no_store) ++clone_no_store;
+      }
+    }
+  }
+  ASSERT_GT(live_json, 0);
+  ASSERT_EQ(live_json, clone_json);
+  EXPECT_GT(static_cast<double>(live_no_store) / live_json, 0.5);
+  EXPECT_LT(static_cast<double>(clone_no_store) / clone_json, 0.3);
+}
+
+TEST(SitegenTest, LiveModeHasChangingResources) {
+  const auto site = generate_site(params_for(8));
+  int changing = 0;
+  for (const auto& [path, resource] : site->resources()) {
+    if (resource->version_at(TimePoint{} + days(14)) > 0) ++changing;
+  }
+  EXPECT_GT(changing, 0);
+}
+
+TEST(Figure1SiteTest, MatchesPaperStructure) {
+  const auto site = make_figure1_site();
+  EXPECT_EQ(site->resource_count(), 5u);
+  EXPECT_EQ(site->host(), "example.com");
+  // Headers per the figure.
+  EXPECT_EQ(*site->find("/a.css")->cache_policy().max_age, days(7));
+  EXPECT_TRUE(site->find("/b.js")->cache_policy().no_cache);
+  EXPECT_EQ(*site->find("/d.jpg")->cache_policy().max_age, hours(2));
+  // d.jpg changes at one hour in; nothing else changes.
+  EXPECT_EQ(site->find("/d.jpg")->version_at(TimePoint{} + hours(2)), 1u);
+  EXPECT_EQ(site->find("/a.css")->version_at(TimePoint{} + days(300)), 0u);
+  // b.js fetches c.js; c.js fetches d.jpg.
+  EXPECT_NE(site->find("/b.js")->content_at(TimePoint{}).find("/c.js"),
+            std::string::npos);
+  EXPECT_NE(site->find("/c.js")->content_at(TimePoint{}).find("/d.jpg"),
+            std::string::npos);
+}
+
+TEST(DistributionsTest, SizesWithinClassBounds) {
+  Rng rng(11);
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_GE(draw_size(http::ResourceClass::Css, rng), KiB(2));
+    EXPECT_LE(draw_size(http::ResourceClass::Css, rng), KiB(200));
+    EXPECT_LE(draw_size(http::ResourceClass::Image, rng), MiB(1));
+    EXPECT_GE(draw_size(http::ResourceClass::Json, rng), 200u);
+  }
+}
+
+TEST(DistributionsTest, FontsNeverChange) {
+  Rng rng(12);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(draw_change_interval(http::ResourceClass::Font, rng),
+              Duration::zero());
+  }
+}
+
+TEST(DistributionsTest, HtmlChangesFasterThanScripts) {
+  Rng rng(13);
+  double html_total = 0, js_total = 0;
+  int js_changing = 0;
+  for (int i = 0; i < 2000; ++i) {
+    html_total += to_seconds(
+        draw_change_interval(http::ResourceClass::Html, rng));
+    const Duration js = draw_change_interval(
+        http::ResourceClass::Script, rng);
+    if (js > Duration::zero()) {
+      js_total += to_seconds(js);
+      ++js_changing;
+    }
+  }
+  ASSERT_GT(js_changing, 0);
+  EXPECT_LT(html_total / 2000, js_total / js_changing);
+}
+
+TEST(ProfilesTest, CompositionsAreOrdered) {
+  for (const PageArchetype a :
+       {PageArchetype::News, PageArchetype::Commerce, PageArchetype::Video,
+        PageArchetype::SocialApp, PageArchetype::Docs}) {
+    const PageComposition c = composition_for(a);
+    EXPECT_LE(c.stylesheets_min, c.stylesheets_max);
+    EXPECT_LE(c.scripts_min, c.scripts_max);
+    EXPECT_LE(c.images_min, c.images_max);
+    EXPECT_GE(c.blocking_script_fraction, 0.0);
+    EXPECT_LE(c.blocking_script_fraction, 1.0);
+    EXPECT_FALSE(to_string(a).empty());
+  }
+}
+
+}  // namespace
+}  // namespace catalyst::workload
