@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_catalyst_design.dir/ablation_catalyst_design.cpp.o"
+  "CMakeFiles/ablation_catalyst_design.dir/ablation_catalyst_design.cpp.o.d"
+  "ablation_catalyst_design"
+  "ablation_catalyst_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_catalyst_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

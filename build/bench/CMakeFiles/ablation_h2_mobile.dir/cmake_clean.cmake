@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_h2_mobile.dir/ablation_h2_mobile.cpp.o"
+  "CMakeFiles/ablation_h2_mobile.dir/ablation_h2_mobile.cpp.o.d"
+  "ablation_h2_mobile"
+  "ablation_h2_mobile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_h2_mobile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

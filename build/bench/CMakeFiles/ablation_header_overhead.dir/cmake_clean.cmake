@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_header_overhead.dir/ablation_header_overhead.cpp.o"
+  "CMakeFiles/ablation_header_overhead.dir/ablation_header_overhead.cpp.o.d"
+  "ablation_header_overhead"
+  "ablation_header_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_header_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_third_party.dir/ablation_third_party.cpp.o"
+  "CMakeFiles/ablation_third_party.dir/ablation_third_party.cpp.o.d"
+  "ablation_third_party"
+  "ablation_third_party.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_third_party.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

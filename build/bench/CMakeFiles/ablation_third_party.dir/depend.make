@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_third_party.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ttl_profiles.dir/ablation_ttl_profiles.cpp.o"
+  "CMakeFiles/ablation_ttl_profiles.dir/ablation_ttl_profiles.cpp.o.d"
+  "ablation_ttl_profiles"
+  "ablation_ttl_profiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ttl_profiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_timelines.dir/fig1_timelines.cpp.o"
+  "CMakeFiles/fig1_timelines.dir/fig1_timelines.cpp.o.d"
+  "fig1_timelines"
+  "fig1_timelines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_timelines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_plt_reduction.dir/fig3_plt_reduction.cpp.o"
+  "CMakeFiles/fig3_plt_reduction.dir/fig3_plt_reduction.cpp.o.d"
+  "fig3_plt_reduction"
+  "fig3_plt_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_plt_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/headline_plt.dir/headline_plt.cpp.o"
+  "CMakeFiles/headline_plt.dir/headline_plt.cpp.o.d"
+  "headline_plt"
+  "headline_plt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/headline_plt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motivation_ttl_waste.dir/motivation_ttl_waste.cpp.o"
+  "CMakeFiles/motivation_ttl_waste.dir/motivation_ttl_waste.cpp.o.d"
+  "motivation_ttl_waste"
+  "motivation_ttl_waste.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motivation_ttl_waste.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_site.dir/custom_site.cpp.o"
+  "CMakeFiles/custom_site.dir/custom_site.cpp.o.d"
+  "custom_site"
+  "custom_site.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_site.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

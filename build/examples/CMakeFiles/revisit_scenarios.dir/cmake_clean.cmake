@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/revisit_scenarios.dir/revisit_scenarios.cpp.o"
+  "CMakeFiles/revisit_scenarios.dir/revisit_scenarios.cpp.o.d"
+  "revisit_scenarios"
+  "revisit_scenarios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/revisit_scenarios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

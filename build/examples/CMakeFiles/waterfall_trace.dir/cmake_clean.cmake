@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/waterfall_trace.dir/waterfall_trace.cpp.o"
+  "CMakeFiles/waterfall_trace.dir/waterfall_trace.cpp.o.d"
+  "waterfall_trace"
+  "waterfall_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/waterfall_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/freshness.cpp" "src/cache/CMakeFiles/catalyst_cache.dir/freshness.cpp.o" "gcc" "src/cache/CMakeFiles/catalyst_cache.dir/freshness.cpp.o.d"
+  "/root/repo/src/cache/http_cache.cpp" "src/cache/CMakeFiles/catalyst_cache.dir/http_cache.cpp.o" "gcc" "src/cache/CMakeFiles/catalyst_cache.dir/http_cache.cpp.o.d"
+  "/root/repo/src/cache/storage.cpp" "src/cache/CMakeFiles/catalyst_cache.dir/storage.cpp.o" "gcc" "src/cache/CMakeFiles/catalyst_cache.dir/storage.cpp.o.d"
+  "/root/repo/src/cache/sw_cache.cpp" "src/cache/CMakeFiles/catalyst_cache.dir/sw_cache.cpp.o" "gcc" "src/cache/CMakeFiles/catalyst_cache.dir/sw_cache.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/catalyst_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/catalyst_http.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catalyst_cache.dir/freshness.cpp.o"
+  "CMakeFiles/catalyst_cache.dir/freshness.cpp.o.d"
+  "CMakeFiles/catalyst_cache.dir/http_cache.cpp.o"
+  "CMakeFiles/catalyst_cache.dir/http_cache.cpp.o.d"
+  "CMakeFiles/catalyst_cache.dir/storage.cpp.o"
+  "CMakeFiles/catalyst_cache.dir/storage.cpp.o.d"
+  "CMakeFiles/catalyst_cache.dir/sw_cache.cpp.o"
+  "CMakeFiles/catalyst_cache.dir/sw_cache.cpp.o.d"
+  "libcatalyst_cache.a"
+  "libcatalyst_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catalyst_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catalyst_client.dir/browser.cpp.o"
+  "CMakeFiles/catalyst_client.dir/browser.cpp.o.d"
+  "CMakeFiles/catalyst_client.dir/fetcher.cpp.o"
+  "CMakeFiles/catalyst_client.dir/fetcher.cpp.o.d"
+  "CMakeFiles/catalyst_client.dir/page_loader.cpp.o"
+  "CMakeFiles/catalyst_client.dir/page_loader.cpp.o.d"
+  "CMakeFiles/catalyst_client.dir/service_worker.cpp.o"
+  "CMakeFiles/catalyst_client.dir/service_worker.cpp.o.d"
+  "libcatalyst_client.a"
+  "libcatalyst_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catalyst_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catalyst_core.dir/experiment.cpp.o"
+  "CMakeFiles/catalyst_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/catalyst_core.dir/rdr_proxy.cpp.o"
+  "CMakeFiles/catalyst_core.dir/rdr_proxy.cpp.o.d"
+  "CMakeFiles/catalyst_core.dir/strategy.cpp.o"
+  "CMakeFiles/catalyst_core.dir/strategy.cpp.o.d"
+  "CMakeFiles/catalyst_core.dir/testbed.cpp.o"
+  "CMakeFiles/catalyst_core.dir/testbed.cpp.o.d"
+  "libcatalyst_core.a"
+  "libcatalyst_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catalyst_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

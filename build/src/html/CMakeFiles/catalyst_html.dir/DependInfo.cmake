@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/html/css.cpp" "src/html/CMakeFiles/catalyst_html.dir/css.cpp.o" "gcc" "src/html/CMakeFiles/catalyst_html.dir/css.cpp.o.d"
+  "/root/repo/src/html/dom.cpp" "src/html/CMakeFiles/catalyst_html.dir/dom.cpp.o" "gcc" "src/html/CMakeFiles/catalyst_html.dir/dom.cpp.o.d"
+  "/root/repo/src/html/generate.cpp" "src/html/CMakeFiles/catalyst_html.dir/generate.cpp.o" "gcc" "src/html/CMakeFiles/catalyst_html.dir/generate.cpp.o.d"
+  "/root/repo/src/html/link_extract.cpp" "src/html/CMakeFiles/catalyst_html.dir/link_extract.cpp.o" "gcc" "src/html/CMakeFiles/catalyst_html.dir/link_extract.cpp.o.d"
+  "/root/repo/src/html/parser.cpp" "src/html/CMakeFiles/catalyst_html.dir/parser.cpp.o" "gcc" "src/html/CMakeFiles/catalyst_html.dir/parser.cpp.o.d"
+  "/root/repo/src/html/tokenizer.cpp" "src/html/CMakeFiles/catalyst_html.dir/tokenizer.cpp.o" "gcc" "src/html/CMakeFiles/catalyst_html.dir/tokenizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/catalyst_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/catalyst_http.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

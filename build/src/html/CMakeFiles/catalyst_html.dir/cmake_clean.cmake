@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catalyst_html.dir/css.cpp.o"
+  "CMakeFiles/catalyst_html.dir/css.cpp.o.d"
+  "CMakeFiles/catalyst_html.dir/dom.cpp.o"
+  "CMakeFiles/catalyst_html.dir/dom.cpp.o.d"
+  "CMakeFiles/catalyst_html.dir/generate.cpp.o"
+  "CMakeFiles/catalyst_html.dir/generate.cpp.o.d"
+  "CMakeFiles/catalyst_html.dir/link_extract.cpp.o"
+  "CMakeFiles/catalyst_html.dir/link_extract.cpp.o.d"
+  "CMakeFiles/catalyst_html.dir/parser.cpp.o"
+  "CMakeFiles/catalyst_html.dir/parser.cpp.o.d"
+  "CMakeFiles/catalyst_html.dir/tokenizer.cpp.o"
+  "CMakeFiles/catalyst_html.dir/tokenizer.cpp.o.d"
+  "libcatalyst_html.a"
+  "libcatalyst_html.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catalyst_html.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

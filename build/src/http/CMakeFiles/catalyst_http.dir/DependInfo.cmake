@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/http/cache_control.cpp" "src/http/CMakeFiles/catalyst_http.dir/cache_control.cpp.o" "gcc" "src/http/CMakeFiles/catalyst_http.dir/cache_control.cpp.o.d"
+  "/root/repo/src/http/conditional.cpp" "src/http/CMakeFiles/catalyst_http.dir/conditional.cpp.o" "gcc" "src/http/CMakeFiles/catalyst_http.dir/conditional.cpp.o.d"
+  "/root/repo/src/http/date.cpp" "src/http/CMakeFiles/catalyst_http.dir/date.cpp.o" "gcc" "src/http/CMakeFiles/catalyst_http.dir/date.cpp.o.d"
+  "/root/repo/src/http/etag.cpp" "src/http/CMakeFiles/catalyst_http.dir/etag.cpp.o" "gcc" "src/http/CMakeFiles/catalyst_http.dir/etag.cpp.o.d"
+  "/root/repo/src/http/etag_config.cpp" "src/http/CMakeFiles/catalyst_http.dir/etag_config.cpp.o" "gcc" "src/http/CMakeFiles/catalyst_http.dir/etag_config.cpp.o.d"
+  "/root/repo/src/http/h2/frame.cpp" "src/http/CMakeFiles/catalyst_http.dir/h2/frame.cpp.o" "gcc" "src/http/CMakeFiles/catalyst_http.dir/h2/frame.cpp.o.d"
+  "/root/repo/src/http/h2/session.cpp" "src/http/CMakeFiles/catalyst_http.dir/h2/session.cpp.o" "gcc" "src/http/CMakeFiles/catalyst_http.dir/h2/session.cpp.o.d"
+  "/root/repo/src/http/h2/stream.cpp" "src/http/CMakeFiles/catalyst_http.dir/h2/stream.cpp.o" "gcc" "src/http/CMakeFiles/catalyst_http.dir/h2/stream.cpp.o.d"
+  "/root/repo/src/http/headers.cpp" "src/http/CMakeFiles/catalyst_http.dir/headers.cpp.o" "gcc" "src/http/CMakeFiles/catalyst_http.dir/headers.cpp.o.d"
+  "/root/repo/src/http/message.cpp" "src/http/CMakeFiles/catalyst_http.dir/message.cpp.o" "gcc" "src/http/CMakeFiles/catalyst_http.dir/message.cpp.o.d"
+  "/root/repo/src/http/mime.cpp" "src/http/CMakeFiles/catalyst_http.dir/mime.cpp.o" "gcc" "src/http/CMakeFiles/catalyst_http.dir/mime.cpp.o.d"
+  "/root/repo/src/http/parser.cpp" "src/http/CMakeFiles/catalyst_http.dir/parser.cpp.o" "gcc" "src/http/CMakeFiles/catalyst_http.dir/parser.cpp.o.d"
+  "/root/repo/src/http/serializer.cpp" "src/http/CMakeFiles/catalyst_http.dir/serializer.cpp.o" "gcc" "src/http/CMakeFiles/catalyst_http.dir/serializer.cpp.o.d"
+  "/root/repo/src/http/status.cpp" "src/http/CMakeFiles/catalyst_http.dir/status.cpp.o" "gcc" "src/http/CMakeFiles/catalyst_http.dir/status.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/catalyst_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

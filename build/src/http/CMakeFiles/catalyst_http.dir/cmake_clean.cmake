@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catalyst_http.dir/cache_control.cpp.o"
+  "CMakeFiles/catalyst_http.dir/cache_control.cpp.o.d"
+  "CMakeFiles/catalyst_http.dir/conditional.cpp.o"
+  "CMakeFiles/catalyst_http.dir/conditional.cpp.o.d"
+  "CMakeFiles/catalyst_http.dir/date.cpp.o"
+  "CMakeFiles/catalyst_http.dir/date.cpp.o.d"
+  "CMakeFiles/catalyst_http.dir/etag.cpp.o"
+  "CMakeFiles/catalyst_http.dir/etag.cpp.o.d"
+  "CMakeFiles/catalyst_http.dir/etag_config.cpp.o"
+  "CMakeFiles/catalyst_http.dir/etag_config.cpp.o.d"
+  "CMakeFiles/catalyst_http.dir/h2/frame.cpp.o"
+  "CMakeFiles/catalyst_http.dir/h2/frame.cpp.o.d"
+  "CMakeFiles/catalyst_http.dir/h2/session.cpp.o"
+  "CMakeFiles/catalyst_http.dir/h2/session.cpp.o.d"
+  "CMakeFiles/catalyst_http.dir/h2/stream.cpp.o"
+  "CMakeFiles/catalyst_http.dir/h2/stream.cpp.o.d"
+  "CMakeFiles/catalyst_http.dir/headers.cpp.o"
+  "CMakeFiles/catalyst_http.dir/headers.cpp.o.d"
+  "CMakeFiles/catalyst_http.dir/message.cpp.o"
+  "CMakeFiles/catalyst_http.dir/message.cpp.o.d"
+  "CMakeFiles/catalyst_http.dir/mime.cpp.o"
+  "CMakeFiles/catalyst_http.dir/mime.cpp.o.d"
+  "CMakeFiles/catalyst_http.dir/parser.cpp.o"
+  "CMakeFiles/catalyst_http.dir/parser.cpp.o.d"
+  "CMakeFiles/catalyst_http.dir/serializer.cpp.o"
+  "CMakeFiles/catalyst_http.dir/serializer.cpp.o.d"
+  "CMakeFiles/catalyst_http.dir/status.cpp.o"
+  "CMakeFiles/catalyst_http.dir/status.cpp.o.d"
+  "libcatalyst_http.a"
+  "libcatalyst_http.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catalyst_http.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

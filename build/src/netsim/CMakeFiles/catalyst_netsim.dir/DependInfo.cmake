@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netsim/conditions.cpp" "src/netsim/CMakeFiles/catalyst_netsim.dir/conditions.cpp.o" "gcc" "src/netsim/CMakeFiles/catalyst_netsim.dir/conditions.cpp.o.d"
+  "/root/repo/src/netsim/event_loop.cpp" "src/netsim/CMakeFiles/catalyst_netsim.dir/event_loop.cpp.o" "gcc" "src/netsim/CMakeFiles/catalyst_netsim.dir/event_loop.cpp.o.d"
+  "/root/repo/src/netsim/link.cpp" "src/netsim/CMakeFiles/catalyst_netsim.dir/link.cpp.o" "gcc" "src/netsim/CMakeFiles/catalyst_netsim.dir/link.cpp.o.d"
+  "/root/repo/src/netsim/network.cpp" "src/netsim/CMakeFiles/catalyst_netsim.dir/network.cpp.o" "gcc" "src/netsim/CMakeFiles/catalyst_netsim.dir/network.cpp.o.d"
+  "/root/repo/src/netsim/trace.cpp" "src/netsim/CMakeFiles/catalyst_netsim.dir/trace.cpp.o" "gcc" "src/netsim/CMakeFiles/catalyst_netsim.dir/trace.cpp.o.d"
+  "/root/repo/src/netsim/transport.cpp" "src/netsim/CMakeFiles/catalyst_netsim.dir/transport.cpp.o" "gcc" "src/netsim/CMakeFiles/catalyst_netsim.dir/transport.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/catalyst_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/catalyst_http.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catalyst_netsim.dir/conditions.cpp.o"
+  "CMakeFiles/catalyst_netsim.dir/conditions.cpp.o.d"
+  "CMakeFiles/catalyst_netsim.dir/event_loop.cpp.o"
+  "CMakeFiles/catalyst_netsim.dir/event_loop.cpp.o.d"
+  "CMakeFiles/catalyst_netsim.dir/link.cpp.o"
+  "CMakeFiles/catalyst_netsim.dir/link.cpp.o.d"
+  "CMakeFiles/catalyst_netsim.dir/network.cpp.o"
+  "CMakeFiles/catalyst_netsim.dir/network.cpp.o.d"
+  "CMakeFiles/catalyst_netsim.dir/trace.cpp.o"
+  "CMakeFiles/catalyst_netsim.dir/trace.cpp.o.d"
+  "CMakeFiles/catalyst_netsim.dir/transport.cpp.o"
+  "CMakeFiles/catalyst_netsim.dir/transport.cpp.o.d"
+  "libcatalyst_netsim.a"
+  "libcatalyst_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catalyst_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

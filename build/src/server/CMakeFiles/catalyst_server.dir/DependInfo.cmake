@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/server/catalyst_module.cpp" "src/server/CMakeFiles/catalyst_server.dir/catalyst_module.cpp.o" "gcc" "src/server/CMakeFiles/catalyst_server.dir/catalyst_module.cpp.o.d"
+  "/root/repo/src/server/change_model.cpp" "src/server/CMakeFiles/catalyst_server.dir/change_model.cpp.o" "gcc" "src/server/CMakeFiles/catalyst_server.dir/change_model.cpp.o.d"
+  "/root/repo/src/server/push_module.cpp" "src/server/CMakeFiles/catalyst_server.dir/push_module.cpp.o" "gcc" "src/server/CMakeFiles/catalyst_server.dir/push_module.cpp.o.d"
+  "/root/repo/src/server/resource.cpp" "src/server/CMakeFiles/catalyst_server.dir/resource.cpp.o" "gcc" "src/server/CMakeFiles/catalyst_server.dir/resource.cpp.o.d"
+  "/root/repo/src/server/server.cpp" "src/server/CMakeFiles/catalyst_server.dir/server.cpp.o" "gcc" "src/server/CMakeFiles/catalyst_server.dir/server.cpp.o.d"
+  "/root/repo/src/server/session.cpp" "src/server/CMakeFiles/catalyst_server.dir/session.cpp.o" "gcc" "src/server/CMakeFiles/catalyst_server.dir/session.cpp.o.d"
+  "/root/repo/src/server/site.cpp" "src/server/CMakeFiles/catalyst_server.dir/site.cpp.o" "gcc" "src/server/CMakeFiles/catalyst_server.dir/site.cpp.o.d"
+  "/root/repo/src/server/static_handler.cpp" "src/server/CMakeFiles/catalyst_server.dir/static_handler.cpp.o" "gcc" "src/server/CMakeFiles/catalyst_server.dir/static_handler.cpp.o.d"
+  "/root/repo/src/server/ttl_policy.cpp" "src/server/CMakeFiles/catalyst_server.dir/ttl_policy.cpp.o" "gcc" "src/server/CMakeFiles/catalyst_server.dir/ttl_policy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/catalyst_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/catalyst_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/html/CMakeFiles/catalyst_html.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/catalyst_netsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

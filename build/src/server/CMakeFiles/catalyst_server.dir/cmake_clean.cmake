@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catalyst_server.dir/catalyst_module.cpp.o"
+  "CMakeFiles/catalyst_server.dir/catalyst_module.cpp.o.d"
+  "CMakeFiles/catalyst_server.dir/change_model.cpp.o"
+  "CMakeFiles/catalyst_server.dir/change_model.cpp.o.d"
+  "CMakeFiles/catalyst_server.dir/push_module.cpp.o"
+  "CMakeFiles/catalyst_server.dir/push_module.cpp.o.d"
+  "CMakeFiles/catalyst_server.dir/resource.cpp.o"
+  "CMakeFiles/catalyst_server.dir/resource.cpp.o.d"
+  "CMakeFiles/catalyst_server.dir/server.cpp.o"
+  "CMakeFiles/catalyst_server.dir/server.cpp.o.d"
+  "CMakeFiles/catalyst_server.dir/session.cpp.o"
+  "CMakeFiles/catalyst_server.dir/session.cpp.o.d"
+  "CMakeFiles/catalyst_server.dir/site.cpp.o"
+  "CMakeFiles/catalyst_server.dir/site.cpp.o.d"
+  "CMakeFiles/catalyst_server.dir/static_handler.cpp.o"
+  "CMakeFiles/catalyst_server.dir/static_handler.cpp.o.d"
+  "CMakeFiles/catalyst_server.dir/ttl_policy.cpp.o"
+  "CMakeFiles/catalyst_server.dir/ttl_policy.cpp.o.d"
+  "libcatalyst_server.a"
+  "libcatalyst_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catalyst_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/base64.cpp" "src/util/CMakeFiles/catalyst_util.dir/base64.cpp.o" "gcc" "src/util/CMakeFiles/catalyst_util.dir/base64.cpp.o.d"
+  "/root/repo/src/util/bloom.cpp" "src/util/CMakeFiles/catalyst_util.dir/bloom.cpp.o" "gcc" "src/util/CMakeFiles/catalyst_util.dir/bloom.cpp.o.d"
+  "/root/repo/src/util/hash.cpp" "src/util/CMakeFiles/catalyst_util.dir/hash.cpp.o" "gcc" "src/util/CMakeFiles/catalyst_util.dir/hash.cpp.o.d"
+  "/root/repo/src/util/json.cpp" "src/util/CMakeFiles/catalyst_util.dir/json.cpp.o" "gcc" "src/util/CMakeFiles/catalyst_util.dir/json.cpp.o.d"
+  "/root/repo/src/util/logging.cpp" "src/util/CMakeFiles/catalyst_util.dir/logging.cpp.o" "gcc" "src/util/CMakeFiles/catalyst_util.dir/logging.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/util/CMakeFiles/catalyst_util.dir/rng.cpp.o" "gcc" "src/util/CMakeFiles/catalyst_util.dir/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/util/CMakeFiles/catalyst_util.dir/stats.cpp.o" "gcc" "src/util/CMakeFiles/catalyst_util.dir/stats.cpp.o.d"
+  "/root/repo/src/util/strings.cpp" "src/util/CMakeFiles/catalyst_util.dir/strings.cpp.o" "gcc" "src/util/CMakeFiles/catalyst_util.dir/strings.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/util/CMakeFiles/catalyst_util.dir/table.cpp.o" "gcc" "src/util/CMakeFiles/catalyst_util.dir/table.cpp.o.d"
+  "/root/repo/src/util/types.cpp" "src/util/CMakeFiles/catalyst_util.dir/types.cpp.o" "gcc" "src/util/CMakeFiles/catalyst_util.dir/types.cpp.o.d"
+  "/root/repo/src/util/url.cpp" "src/util/CMakeFiles/catalyst_util.dir/url.cpp.o" "gcc" "src/util/CMakeFiles/catalyst_util.dir/url.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catalyst_util.dir/base64.cpp.o"
+  "CMakeFiles/catalyst_util.dir/base64.cpp.o.d"
+  "CMakeFiles/catalyst_util.dir/bloom.cpp.o"
+  "CMakeFiles/catalyst_util.dir/bloom.cpp.o.d"
+  "CMakeFiles/catalyst_util.dir/hash.cpp.o"
+  "CMakeFiles/catalyst_util.dir/hash.cpp.o.d"
+  "CMakeFiles/catalyst_util.dir/json.cpp.o"
+  "CMakeFiles/catalyst_util.dir/json.cpp.o.d"
+  "CMakeFiles/catalyst_util.dir/logging.cpp.o"
+  "CMakeFiles/catalyst_util.dir/logging.cpp.o.d"
+  "CMakeFiles/catalyst_util.dir/rng.cpp.o"
+  "CMakeFiles/catalyst_util.dir/rng.cpp.o.d"
+  "CMakeFiles/catalyst_util.dir/stats.cpp.o"
+  "CMakeFiles/catalyst_util.dir/stats.cpp.o.d"
+  "CMakeFiles/catalyst_util.dir/strings.cpp.o"
+  "CMakeFiles/catalyst_util.dir/strings.cpp.o.d"
+  "CMakeFiles/catalyst_util.dir/table.cpp.o"
+  "CMakeFiles/catalyst_util.dir/table.cpp.o.d"
+  "CMakeFiles/catalyst_util.dir/types.cpp.o"
+  "CMakeFiles/catalyst_util.dir/types.cpp.o.d"
+  "CMakeFiles/catalyst_util.dir/url.cpp.o"
+  "CMakeFiles/catalyst_util.dir/url.cpp.o.d"
+  "libcatalyst_util.a"
+  "libcatalyst_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catalyst_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

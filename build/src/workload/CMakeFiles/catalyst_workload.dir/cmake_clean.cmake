@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catalyst_workload.dir/distributions.cpp.o"
+  "CMakeFiles/catalyst_workload.dir/distributions.cpp.o.d"
+  "CMakeFiles/catalyst_workload.dir/profiles.cpp.o"
+  "CMakeFiles/catalyst_workload.dir/profiles.cpp.o.d"
+  "CMakeFiles/catalyst_workload.dir/sitegen.cpp.o"
+  "CMakeFiles/catalyst_workload.dir/sitegen.cpp.o.d"
+  "libcatalyst_workload.a"
+  "libcatalyst_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catalyst_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_freshness_test.dir/cache_freshness_test.cpp.o"
+  "CMakeFiles/cache_freshness_test.dir/cache_freshness_test.cpp.o.d"
+  "cache_freshness_test"
+  "cache_freshness_test.pdb"
+  "cache_freshness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_freshness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/client_browser_test.dir/client_browser_test.cpp.o"
+  "CMakeFiles/client_browser_test.dir/client_browser_test.cpp.o.d"
+  "client_browser_test"
+  "client_browser_test.pdb"
+  "client_browser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/client_browser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

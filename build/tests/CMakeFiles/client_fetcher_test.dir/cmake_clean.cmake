@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/client_fetcher_test.dir/client_fetcher_test.cpp.o"
+  "CMakeFiles/client_fetcher_test.dir/client_fetcher_test.cpp.o.d"
+  "client_fetcher_test"
+  "client_fetcher_test.pdb"
+  "client_fetcher_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/client_fetcher_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

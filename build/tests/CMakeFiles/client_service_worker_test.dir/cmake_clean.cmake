@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/client_service_worker_test.dir/client_service_worker_test.cpp.o"
+  "CMakeFiles/client_service_worker_test.dir/client_service_worker_test.cpp.o.d"
+  "client_service_worker_test"
+  "client_service_worker_test.pdb"
+  "client_service_worker_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/client_service_worker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/html_css_test.dir/html_css_test.cpp.o"
+  "CMakeFiles/html_css_test.dir/html_css_test.cpp.o.d"
+  "html_css_test"
+  "html_css_test.pdb"
+  "html_css_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/html_css_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/html_tokenizer_test.dir/html_tokenizer_test.cpp.o"
+  "CMakeFiles/html_tokenizer_test.dir/html_tokenizer_test.cpp.o.d"
+  "html_tokenizer_test"
+  "html_tokenizer_test.pdb"
+  "html_tokenizer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/html_tokenizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

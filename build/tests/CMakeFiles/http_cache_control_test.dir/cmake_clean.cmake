@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/http_cache_control_test.dir/http_cache_control_test.cpp.o"
+  "CMakeFiles/http_cache_control_test.dir/http_cache_control_test.cpp.o.d"
+  "http_cache_control_test"
+  "http_cache_control_test.pdb"
+  "http_cache_control_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/http_cache_control_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/http_conditional_test.dir/http_conditional_test.cpp.o"
+  "CMakeFiles/http_conditional_test.dir/http_conditional_test.cpp.o.d"
+  "http_conditional_test"
+  "http_conditional_test.pdb"
+  "http_conditional_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/http_conditional_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

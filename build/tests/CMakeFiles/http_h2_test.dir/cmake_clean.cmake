@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/http_h2_test.dir/http_h2_test.cpp.o"
+  "CMakeFiles/http_h2_test.dir/http_h2_test.cpp.o.d"
+  "http_h2_test"
+  "http_h2_test.pdb"
+  "http_h2_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/http_h2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/http_mime_test.dir/http_mime_test.cpp.o"
+  "CMakeFiles/http_mime_test.dir/http_mime_test.cpp.o.d"
+  "http_mime_test"
+  "http_mime_test.pdb"
+  "http_mime_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/http_mime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

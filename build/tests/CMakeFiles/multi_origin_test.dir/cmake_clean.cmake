@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_origin_test.dir/multi_origin_test.cpp.o"
+  "CMakeFiles/multi_origin_test.dir/multi_origin_test.cpp.o.d"
+  "multi_origin_test"
+  "multi_origin_test.pdb"
+  "multi_origin_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_origin_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

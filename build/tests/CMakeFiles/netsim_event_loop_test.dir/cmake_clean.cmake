@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netsim_event_loop_test.dir/netsim_event_loop_test.cpp.o"
+  "CMakeFiles/netsim_event_loop_test.dir/netsim_event_loop_test.cpp.o.d"
+  "netsim_event_loop_test"
+  "netsim_event_loop_test.pdb"
+  "netsim_event_loop_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netsim_event_loop_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

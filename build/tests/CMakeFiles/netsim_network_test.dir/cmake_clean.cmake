@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netsim_network_test.dir/netsim_network_test.cpp.o"
+  "CMakeFiles/netsim_network_test.dir/netsim_network_test.cpp.o.d"
+  "netsim_network_test"
+  "netsim_network_test.pdb"
+  "netsim_network_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netsim_network_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

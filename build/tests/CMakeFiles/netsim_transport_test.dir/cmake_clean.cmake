@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netsim_transport_test.dir/netsim_transport_test.cpp.o"
+  "CMakeFiles/netsim_transport_test.dir/netsim_transport_test.cpp.o.d"
+  "netsim_transport_test"
+  "netsim_transport_test.pdb"
+  "netsim_transport_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netsim_transport_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdr_proxy_test.dir/rdr_proxy_test.cpp.o"
+  "CMakeFiles/rdr_proxy_test.dir/rdr_proxy_test.cpp.o.d"
+  "rdr_proxy_test"
+  "rdr_proxy_test.pdb"
+  "rdr_proxy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdr_proxy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/server_catalyst_module_test.dir/server_catalyst_module_test.cpp.o"
+  "CMakeFiles/server_catalyst_module_test.dir/server_catalyst_module_test.cpp.o.d"
+  "server_catalyst_module_test"
+  "server_catalyst_module_test.pdb"
+  "server_catalyst_module_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_catalyst_module_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

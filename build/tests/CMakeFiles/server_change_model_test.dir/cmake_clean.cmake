@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/server_change_model_test.dir/server_change_model_test.cpp.o"
+  "CMakeFiles/server_change_model_test.dir/server_change_model_test.cpp.o.d"
+  "server_change_model_test"
+  "server_change_model_test.pdb"
+  "server_change_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_change_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

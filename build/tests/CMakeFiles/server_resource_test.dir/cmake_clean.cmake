@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/server_resource_test.dir/server_resource_test.cpp.o"
+  "CMakeFiles/server_resource_test.dir/server_resource_test.cpp.o.d"
+  "server_resource_test"
+  "server_resource_test.pdb"
+  "server_resource_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_resource_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

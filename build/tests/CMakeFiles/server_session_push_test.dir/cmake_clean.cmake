@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/server_session_push_test.dir/server_session_push_test.cpp.o"
+  "CMakeFiles/server_session_push_test.dir/server_session_push_test.cpp.o.d"
+  "server_session_push_test"
+  "server_session_push_test.pdb"
+  "server_session_push_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_session_push_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/server_static_handler_test.dir/server_static_handler_test.cpp.o"
+  "CMakeFiles/server_static_handler_test.dir/server_static_handler_test.cpp.o.d"
+  "server_static_handler_test"
+  "server_static_handler_test.pdb"
+  "server_static_handler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_static_handler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/server_ttl_policy_test.dir/server_ttl_policy_test.cpp.o"
+  "CMakeFiles/server_ttl_policy_test.dir/server_ttl_policy_test.cpp.o.d"
+  "server_ttl_policy_test"
+  "server_ttl_policy_test.pdb"
+  "server_ttl_policy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_ttl_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util_strings_test.cpp" "tests/CMakeFiles/util_strings_test.dir/util_strings_test.cpp.o" "gcc" "tests/CMakeFiles/util_strings_test.dir/util_strings_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/catalyst_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/client/CMakeFiles/catalyst_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/catalyst_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/catalyst_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/catalyst_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/html/CMakeFiles/catalyst_html.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/catalyst_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/catalyst_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/catalyst_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

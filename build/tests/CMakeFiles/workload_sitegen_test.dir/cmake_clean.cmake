@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_sitegen_test.dir/workload_sitegen_test.cpp.o"
+  "CMakeFiles/workload_sitegen_test.dir/workload_sitegen_test.cpp.o.d"
+  "workload_sitegen_test"
+  "workload_sitegen_test.pdb"
+  "workload_sitegen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_sitegen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

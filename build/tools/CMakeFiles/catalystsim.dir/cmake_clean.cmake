@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catalystsim.dir/catalystsim.cpp.o"
+  "CMakeFiles/catalystsim.dir/catalystsim.cpp.o.d"
+  "catalystsim"
+  "catalystsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catalystsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
