@@ -1,0 +1,129 @@
+#include "fleet/report.h"
+
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace catalyst::fleet {
+
+namespace {
+
+/// Fixed stat set serialized for every Summary. An empty summary emits
+/// count=0 only, so "no baseline run" cannot produce NaN-dependent bytes.
+Json summary_json(const Summary& s) {
+  Json j = Json::object();
+  j.set("count", Json::number(static_cast<double>(s.count())));
+  if (!s.empty()) {
+    j.set("mean", Json::number(s.mean()));
+    j.set("min", Json::number(s.min()));
+    j.set("p50", Json::number(s.percentile(50)));
+    j.set("p95", Json::number(s.percentile(95)));
+    j.set("p99", Json::number(s.percentile(99)));
+    j.set("max", Json::number(s.max()));
+  }
+  return j;
+}
+
+std::string stat_row(const Summary& s) {
+  if (s.empty()) return "(no samples)";
+  return str_format("mean %.1f  p50 %.1f  p95 %.1f  p99 %.1f", s.mean(),
+                    s.percentile(50), s.percentile(95), s.percentile(99));
+}
+
+}  // namespace
+
+void FleetReport::merge(const FleetReport& other) {
+  users += other.users;
+  visits += other.visits;
+  revisits += other.revisits;
+  counters.merge(other.counters);
+  bytes_on_wire += other.bytes_on_wire;
+  baseline_bytes_on_wire += other.baseline_bytes_on_wire;
+  rtts += other.rtts;
+  baseline_rtts += other.baseline_rtts;
+  plt_ms.merge(other.plt_ms);
+  plt_reduction_pct.merge(other.plt_reduction_pct);
+  per_user_plt_reduction_pct.merge(other.per_user_plt_reduction_pct);
+  per_user_hit_rate_pct.merge(other.per_user_hit_rate_pct);
+}
+
+Json FleetReport::to_json() const {
+  Json j = Json::object();
+  j.set("users", Json::number(static_cast<double>(users)));
+  j.set("visits", Json::number(static_cast<double>(visits)));
+  j.set("revisits", Json::number(static_cast<double>(revisits)));
+
+  Json c = Json::object();
+  c.set("from_network", Json::number(static_cast<double>(counters.from_network)));
+  c.set("from_cache", Json::number(static_cast<double>(counters.from_cache)));
+  c.set("not_modified", Json::number(static_cast<double>(counters.not_modified)));
+  c.set("from_sw_cache", Json::number(static_cast<double>(counters.from_sw_cache)));
+  c.set("from_push", Json::number(static_cast<double>(counters.from_push)));
+  c.set("stale_served", Json::number(static_cast<double>(counters.stale_served)));
+  j.set("revisit_fetches", std::move(c));
+
+  j.set("bytes_on_wire", Json::number(static_cast<double>(bytes_on_wire)));
+  j.set("baseline_bytes_on_wire",
+        Json::number(static_cast<double>(baseline_bytes_on_wire)));
+  j.set("rtts", Json::number(static_cast<double>(rtts)));
+  j.set("baseline_rtts", Json::number(static_cast<double>(baseline_rtts)));
+  j.set("rtts_saved", Json::number(static_cast<double>(rtts_saved())));
+  j.set("bytes_saved", Json::number(static_cast<double>(bytes_saved())));
+
+  j.set("revisit_plt_ms", summary_json(plt_ms));
+  j.set("plt_reduction_pct", summary_json(plt_reduction_pct));
+  j.set("per_user_plt_reduction_pct",
+        summary_json(per_user_plt_reduction_pct));
+  j.set("per_user_hit_rate_pct", summary_json(per_user_hit_rate_pct));
+  return j;
+}
+
+std::string FleetReport::serialize() const { return to_json().dump(); }
+
+std::string FleetReport::render_table(const std::string& title) const {
+  Table table(title);
+  table.set_header({"metric", "value"});
+  table.add_row({"users", std::to_string(users)});
+  table.add_row({"visits (cold + revisit)",
+                 str_format("%llu (%llu + %llu)",
+                            static_cast<unsigned long long>(visits),
+                            static_cast<unsigned long long>(visits - revisits),
+                            static_cast<unsigned long long>(revisits))});
+  table.add_separator();
+  const std::uint64_t fetches = counters.total();
+  auto pct_of = [fetches](std::uint64_t n) {
+    return fetches == 0
+               ? std::string("0%")
+               : str_format("%.1f%%", 100.0 * static_cast<double>(n) /
+                                          static_cast<double>(fetches));
+  };
+  table.add_row({"revisit fetches", std::to_string(fetches)});
+  table.add_row({"  full downloads", pct_of(counters.from_network)});
+  table.add_row({"  cache hits", pct_of(counters.from_cache)});
+  table.add_row({"  revalidated 304s", pct_of(counters.not_modified)});
+  table.add_row({"  sw-cache hits", pct_of(counters.from_sw_cache)});
+  table.add_row({"  push deliveries", pct_of(counters.from_push)});
+  table.add_row({"  stale served", std::to_string(counters.stale_served)});
+  table.add_separator();
+  table.add_row({"bytes on wire", format_bytes(bytes_on_wire)});
+  table.add_row({"rtts", std::to_string(rtts)});
+  if (baseline_rtts != 0 || baseline_bytes_on_wire != 0) {
+    table.add_row({"rtts saved vs baseline",
+                   str_format("%lld", static_cast<long long>(rtts_saved()))});
+    const std::int64_t bytes = bytes_saved();
+    table.add_row(
+        {"bytes saved vs baseline",
+         str_format("%s%s", bytes < 0 ? "-" : "",
+                    format_bytes(static_cast<ByteCount>(
+                                     bytes < 0 ? -bytes : bytes))
+                        .c_str())});
+  }
+  table.add_separator();
+  table.add_row({"revisit PLT (ms)", stat_row(plt_ms)});
+  table.add_row({"PLT reduction (%)", stat_row(plt_reduction_pct)});
+  table.add_row(
+      {"per-user PLT reduction (%)", stat_row(per_user_plt_reduction_pct)});
+  table.add_row({"per-user hit rate (%)", stat_row(per_user_hit_rate_pct)});
+  return table.render();
+}
+
+}  // namespace catalyst::fleet

@@ -1,0 +1,72 @@
+// Mergeable fleet-wide aggregates.
+//
+// Every shard produces one FleetReport for its batch of users; the runner
+// folds them together in canonical shard order. All fields are either
+// plain sums (order-independent) or Summary sample lists (merged in
+// canonical order so floating-point accumulation is bit-identical to a
+// single-threaded run). serialize() is the byte-stable form the
+// determinism tests and the `fleetsim --json` output compare.
+#pragma once
+
+#include <string>
+
+#include "util/json.h"
+#include "util/stats.h"
+#include "util/types.h"
+
+namespace catalyst::fleet {
+
+struct FleetReport {
+  std::uint64_t users = 0;
+  std::uint64_t visits = 0;    // all measured page loads (treatment)
+  std::uint64_t revisits = 0;  // visits beyond each user's cold load
+
+  /// Fetch outcomes across all treatment revisits (cold loads excluded:
+  /// they are all-network by construction and would drown the signal the
+  /// related work measures — what happens when a cache is warm).
+  CacheCounters counters;
+
+  /// Wire totals across all treatment visits, and the same users replayed
+  /// under the baseline strategy (zero when no baseline was run).
+  ByteCount bytes_on_wire = 0;
+  ByteCount baseline_bytes_on_wire = 0;
+  std::uint64_t rtts = 0;
+  std::uint64_t baseline_rtts = 0;
+
+  /// Revisit PLTs (ms) under the treatment strategy.
+  Summary plt_ms;
+  /// Per-revisit PLT reduction vs baseline (%), Figure-3 style.
+  Summary plt_reduction_pct;
+  /// Per-user mean PLT reduction (%): one sample per user, the per-user
+  /// distribution Ma et al. report for redundant-transfer mitigation.
+  Summary per_user_plt_reduction_pct;
+  /// Per-user cache answer rate on revisits (% of resources served
+  /// without a full download).
+  Summary per_user_hit_rate_pct;
+
+  /// Round trips / bytes the treatment avoided relative to baseline
+  /// (negative when the treatment costs more, e.g. push floods).
+  std::int64_t rtts_saved() const {
+    return static_cast<std::int64_t>(baseline_rtts) -
+           static_cast<std::int64_t>(rtts);
+  }
+  std::int64_t bytes_saved() const {
+    return static_cast<std::int64_t>(baseline_bytes_on_wire) -
+           static_cast<std::int64_t>(bytes_on_wire);
+  }
+
+  /// Folds `other` into this report. Merging shard reports in ascending
+  /// shard order reproduces the single-threaded accumulation exactly.
+  void merge(const FleetReport& other);
+
+  /// Stable JSON document (sorted keys, fixed stat set per Summary).
+  Json to_json() const;
+
+  /// Canonical byte-stable serialization of to_json().
+  std::string serialize() const;
+
+  /// Human-readable console table.
+  std::string render_table(const std::string& title) const;
+};
+
+}  // namespace catalyst::fleet

@@ -1,0 +1,84 @@
+#include "fleet/runner.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace catalyst::fleet {
+
+void ShardQueue::push(ShardTask task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tasks_.push_back(task);
+  }
+  ready_.notify_one();
+}
+
+void ShardQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  ready_.notify_all();
+}
+
+std::optional<ShardTask> ShardQueue::pop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  ready_.wait(lock, [this] { return next_ < tasks_.size() || closed_; });
+  if (next_ < tasks_.size()) return tasks_[next_++];
+  return std::nullopt;
+}
+
+FleetRunner::FleetRunner(FleetParams params, std::uint64_t num_users,
+                         int threads)
+    : params_(std::move(params)),
+      num_users_(num_users),
+      threads_(std::max(threads, 1)) {
+  const std::uint64_t shard_size = std::max<std::uint64_t>(
+      params_.shard_size, 1);
+  shard_count_ = static_cast<std::size_t>(
+      (num_users_ + shard_size - 1) / shard_size);
+}
+
+FleetReport FleetRunner::run() {
+  const std::uint64_t shard_size =
+      std::max<std::uint64_t>(params_.shard_size, 1);
+
+  ShardQueue queue;
+  for (std::size_t s = 0; s < shard_count_; ++s) {
+    ShardTask task;
+    task.shard_index = s;
+    task.first_user = static_cast<std::uint64_t>(s) * shard_size;
+    task.user_count = std::min(shard_size, num_users_ - task.first_user);
+    queue.push(task);
+  }
+  queue.close();
+
+  // One report slot per shard: workers write disjoint slots, the merge
+  // below reads them only after every worker has joined.
+  std::vector<FleetReport> slots(shard_count_);
+
+  auto worker = [&] {
+    while (auto task = queue.pop()) {
+      FleetReport report = Shard(params_, *task).run();
+      users_completed_.fetch_add(report.users, std::memory_order_relaxed);
+      live_counters_.record(report.counters);
+      slots[task->shard_index] = std::move(report);
+    }
+  };
+
+  const int pool = static_cast<int>(std::min<std::uint64_t>(
+      static_cast<std::uint64_t>(threads_), std::max<std::size_t>(
+                                                shard_count_, 1)));
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(pool));
+  for (int i = 0; i < pool; ++i) workers.emplace_back(worker);
+  for (auto& w : workers) w.join();
+
+  // Canonical merge: ascending shard index == ascending user id, exactly
+  // the order a single thread would have accumulated samples in.
+  FleetReport merged;
+  for (auto& slot : slots) merged.merge(slot);
+  return merged;
+}
+
+}  // namespace catalyst::fleet

@@ -1,0 +1,113 @@
+#include "fleet/shard.h"
+
+#include "workload/sitegen.h"
+
+namespace catalyst::fleet {
+
+namespace {
+
+/// Replays one user's visit timeline under one strategy in a fresh
+/// testbed (cache and Service Worker state persist across the timeline,
+/// exactly like run_visit_sequence).
+std::vector<client::PageLoadResult> replay_timeline(
+    const std::shared_ptr<server::Site>& site, const UserProfile& profile,
+    core::StrategyKind kind, core::StrategyOptions options) {
+  options.mobile_client = profile.mobile_client;
+  core::Testbed tb = core::make_testbed(site, conditions_for(profile.tier),
+                                        kind, options);
+  std::vector<client::PageLoadResult> results;
+  results.reserve(profile.visits.size());
+  for (const TimePoint at : profile.visits) {
+    results.push_back(core::run_visit(tb, at));
+  }
+  return results;
+}
+
+}  // namespace
+
+std::shared_ptr<server::Site> Shard::site_for(int site_index) {
+  auto it = sites_.find(site_index);
+  if (it != sites_.end()) return it->second;
+  workload::SitegenParams sp;
+  sp.seed = params_.user_model.sitegen_seed;
+  sp.site_index = site_index;
+  sp.clone_static_snapshot = params_.user_model.clone_static_snapshot;
+  auto site = workload::generate_site(sp);
+  sites_.emplace(site_index, site);
+  return site;
+}
+
+void Shard::replay_user(const UserProfile& profile, FleetReport& report) {
+  const auto site = site_for(profile.site_index);
+  const auto treat = replay_timeline(site, profile, params_.strategy,
+                                     params_.options);
+  const bool compare = params_.baseline != params_.strategy;
+  std::vector<client::PageLoadResult> base;
+  if (compare) {
+    base = replay_timeline(site, profile, params_.baseline, params_.options);
+  }
+
+  report.users += 1;
+  report.visits += treat.size();
+  report.revisits += treat.size() - 1;
+
+  double user_reduction_sum = 0.0;
+  std::size_t user_reduction_n = 0;
+  std::uint64_t user_fetches = 0;
+  std::uint64_t user_avoided = 0;
+
+  for (std::size_t i = 0; i < treat.size(); ++i) {
+    const client::PageLoadResult& r = treat[i];
+    report.bytes_on_wire += r.bytes_downloaded;
+    report.rtts += r.rtts;
+    if (compare) {
+      report.baseline_bytes_on_wire += base[i].bytes_downloaded;
+      report.baseline_rtts += base[i].rtts;
+    }
+    if (i == 0) continue;  // cold load: all-network by construction
+
+    CacheCounters c;
+    c.from_network = r.from_network;
+    c.from_cache = r.from_cache;
+    c.not_modified = r.not_modified;
+    c.from_sw_cache = r.from_sw_cache;
+    c.from_push = r.from_push;
+    c.stale_served = r.stale_served;
+    report.counters.merge(c);
+    user_fetches += c.total();
+    user_avoided += c.avoided_downloads();
+
+    report.plt_ms.add(to_millis(r.plt()));
+    if (compare) {
+      const double base_ms = to_millis(base[i].plt());
+      if (base_ms > 0.0) {
+        const double reduction =
+            100.0 * (base_ms - to_millis(r.plt())) / base_ms;
+        report.plt_reduction_pct.add(reduction);
+        user_reduction_sum += reduction;
+        ++user_reduction_n;
+      }
+    }
+  }
+
+  if (user_reduction_n > 0) {
+    report.per_user_plt_reduction_pct.add(
+        user_reduction_sum / static_cast<double>(user_reduction_n));
+  }
+  if (user_fetches > 0) {
+    report.per_user_hit_rate_pct.add(100.0 *
+                                     static_cast<double>(user_avoided) /
+                                     static_cast<double>(user_fetches));
+  }
+}
+
+FleetReport Shard::run() {
+  FleetReport report;
+  for (std::uint64_t i = 0; i < task_.user_count; ++i) {
+    replay_user(make_user_profile(params_.user_model, task_.first_user + i),
+                report);
+  }
+  return report;
+}
+
+}  // namespace catalyst::fleet

@@ -1,0 +1,70 @@
+// A shard: one worker-sized batch of users replayed sequentially on
+// private state.
+//
+// Shards own everything they touch — site catalog, testbeds, event loops —
+// so two shards never share a mutable object and can run on different
+// threads without synchronization. Site content memoization (Resource's
+// lazy version cache) is the reason sharing is off the table; regenerating
+// the catalog per shard is deterministic and costs microseconds per site.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+
+#include "core/experiment.h"
+#include "fleet/report.h"
+#include "fleet/user_model.h"
+
+namespace catalyst::fleet {
+
+/// Whole-fleet configuration shared (read-only) by every shard.
+struct FleetParams {
+  UserModelParams user_model;
+
+  /// Strategy under test.
+  core::StrategyKind strategy = core::StrategyKind::Catalyst;
+
+  /// Comparison strategy replayed over the same users/timelines to price
+  /// RTTs/bytes saved and PLT reduction. Set equal to `strategy` to skip
+  /// the second replay (halves the work; saved/reduction stats stay 0).
+  core::StrategyKind baseline = core::StrategyKind::Baseline;
+
+  /// Per-testbed knobs; `mobile_client` is overridden per user.
+  core::StrategyOptions options;
+
+  /// Users per shard. Purely a scheduling granularity: results are
+  /// bit-identical for any value because each user's replay is
+  /// self-contained and merging is canonicalized.
+  std::uint64_t shard_size = 256;
+};
+
+/// Contiguous user-id range [first_user, first_user + user_count).
+struct ShardTask {
+  std::size_t shard_index = 0;
+  std::uint64_t first_user = 0;
+  std::uint64_t user_count = 0;
+};
+
+/// Replays one batch of users and accumulates their FleetReport.
+class Shard {
+ public:
+  Shard(const FleetParams& params, ShardTask task)
+      : params_(params), task_(task) {}
+
+  /// Runs every user in the batch (ascending user id, so the report's
+  /// Summary sample order is canonical) and returns the shard report.
+  FleetReport run();
+
+ private:
+  std::shared_ptr<server::Site> site_for(int site_index);
+  void replay_user(const UserProfile& profile, FleetReport& report);
+
+  const FleetParams& params_;
+  ShardTask task_;
+  // Lazily generated, shard-private site catalog. Users of one shard that
+  // share a site share memoized content (single-threaded, safe).
+  std::map<int, std::shared_ptr<server::Site>> sites_;
+};
+
+}  // namespace catalyst::fleet

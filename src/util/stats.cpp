@@ -16,6 +16,12 @@ void Summary::add_all(const std::vector<double>& xs) {
   sorted_valid_ = false;
 }
 
+void Summary::merge(const Summary& other) {
+  samples_.insert(samples_.end(), other.samples_.begin(),
+                  other.samples_.end());
+  sorted_valid_ = false;
+}
+
 double Summary::sum() const {
   double s = 0.0;
   for (double x : samples_) s += x;
@@ -89,6 +95,17 @@ void Histogram::add(double x) {
   ++total_;
 }
 
+void Histogram::merge(const Histogram& other) {
+  if (other.lo_ != lo_ || other.hi_ != hi_ ||
+      other.counts_.size() != counts_.size()) {
+    throw std::invalid_argument("Histogram::merge: shape mismatch");
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  total_ += other.total_;
+}
+
 std::string Histogram::sparkline() const {
   static const char* kBlocks[] = {" ", "▁", "▂", "▃",
                                   "▄", "▅", "▆", "▇",
@@ -105,6 +122,35 @@ std::string Histogram::sparkline() const {
     }
   }
   return out;
+}
+
+void CacheCounters::merge(const CacheCounters& other) {
+  from_network += other.from_network;
+  from_cache += other.from_cache;
+  not_modified += other.not_modified;
+  from_sw_cache += other.from_sw_cache;
+  from_push += other.from_push;
+  stale_served += other.stale_served;
+}
+
+void AtomicCacheCounters::record(const CacheCounters& delta) {
+  slots_[0].fetch_add(delta.from_network, std::memory_order_relaxed);
+  slots_[1].fetch_add(delta.from_cache, std::memory_order_relaxed);
+  slots_[2].fetch_add(delta.not_modified, std::memory_order_relaxed);
+  slots_[3].fetch_add(delta.from_sw_cache, std::memory_order_relaxed);
+  slots_[4].fetch_add(delta.from_push, std::memory_order_relaxed);
+  slots_[5].fetch_add(delta.stale_served, std::memory_order_relaxed);
+}
+
+CacheCounters AtomicCacheCounters::snapshot() const {
+  CacheCounters c;
+  c.from_network = slots_[0].load(std::memory_order_relaxed);
+  c.from_cache = slots_[1].load(std::memory_order_relaxed);
+  c.not_modified = slots_[2].load(std::memory_order_relaxed);
+  c.from_sw_cache = slots_[3].load(std::memory_order_relaxed);
+  c.from_push = slots_[4].load(std::memory_order_relaxed);
+  c.stale_served = slots_[5].load(std::memory_order_relaxed);
+  return c;
 }
 
 }  // namespace catalyst

@@ -5,7 +5,10 @@
 // so the benches can show how tight the averages are.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -16,6 +19,11 @@ class Summary {
  public:
   void add(double x);
   void add_all(const std::vector<double>& xs);
+
+  /// Appends all of `other`'s samples (in their insertion order), so that
+  /// merging per-shard summaries in a canonical order yields exactly the
+  /// sample sequence a single-threaded accumulation would have produced.
+  void merge(const Summary& other);
 
   std::size_t count() const { return samples_.size(); }
   bool empty() const { return samples_.empty(); }
@@ -53,6 +61,11 @@ class Histogram {
   std::size_t count(std::size_t bin) const { return counts_.at(bin); }
   std::size_t total() const { return total_; }
 
+  /// Adds `other`'s bin counts into this histogram. Both histograms must
+  /// have the same range and bin count; throws std::invalid_argument
+  /// otherwise.
+  void merge(const Histogram& other);
+
   /// One-line unicode block rendering ("▁▃▇█▅▂  ").
   std::string sparkline() const;
 
@@ -61,6 +74,46 @@ class Histogram {
   double hi_;
   std::vector<std::size_t> counts_;
   std::size_t total_ = 0;
+};
+
+/// Per-visit fetch-outcome tallies (one slot per FetchSource, plus the
+/// staleness audit). A plain value type so reports can merge and compare
+/// them; the concurrent mirror below feeds one of these per shard.
+struct CacheCounters {
+  std::uint64_t from_network = 0;   // full downloads
+  std::uint64_t from_cache = 0;     // fresh HTTP-cache hits
+  std::uint64_t not_modified = 0;   // revalidated 304s
+  std::uint64_t from_sw_cache = 0;  // Service-Worker cache hits
+  std::uint64_t from_push = 0;      // server-push deliveries
+  std::uint64_t stale_served = 0;   // audit: cache bytes != origin bytes
+
+  void merge(const CacheCounters& other);
+
+  /// Every resource outcome (stale_served overlaps the others, excluded).
+  std::uint64_t total() const {
+    return from_network + from_cache + not_modified + from_sw_cache +
+           from_push;
+  }
+  /// Responses answered without a full body download.
+  std::uint64_t avoided_downloads() const {
+    return from_cache + not_modified + from_sw_cache + from_push;
+  }
+
+  bool operator==(const CacheCounters& other) const = default;
+};
+
+/// Lock-free mirror of CacheCounters: shard worker threads record deltas
+/// with relaxed atomics (no ordering is needed — each increment is an
+/// independent tally), and the coordinator snapshots after joining the
+/// workers. This is what lets a running fleet expose live fleet-wide
+/// progress counters without a mutex on the hot path.
+class AtomicCacheCounters {
+ public:
+  void record(const CacheCounters& delta);
+  CacheCounters snapshot() const;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, 6> slots_{};
 };
 
 }  // namespace catalyst

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 namespace catalyst::workload {
 
@@ -75,6 +76,29 @@ Duration draw_change_interval(http::ResourceClass resource_class,
       return seconds_f(rng.lognormal(std::log(10.0 * 86400), 1.0));
   }
   return Duration::zero();
+}
+
+std::size_t draw_zipf_rank(std::size_t n, double s, Rng& rng) {
+  if (n == 0) throw std::invalid_argument("draw_zipf_rank: n == 0");
+  double total = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    total += std::pow(static_cast<double>(k + 1), -s);
+  }
+  double target = rng.next_double() * total;
+  for (std::size_t k = 0; k < n; ++k) {
+    const double w = std::pow(static_cast<double>(k + 1), -s);
+    if (target < w) return k;
+    target -= w;
+  }
+  return n - 1;  // numeric edge: land on the least popular rank
+}
+
+Duration draw_visit_gap(Duration mean_gap, Rng& rng) {
+  if (mean_gap <= Duration::zero()) {
+    throw std::invalid_argument("draw_visit_gap: mean_gap <= 0");
+  }
+  const Duration gap = seconds_f(rng.exponential(1.0 / to_seconds(mean_gap)));
+  return std::max(gap, minutes(1));
 }
 
 }  // namespace catalyst::workload

@@ -20,4 +20,16 @@ ByteCount draw_size(http::ResourceClass resource_class, Rng& rng);
 /// means the resource effectively never changes (versioned assets).
 Duration draw_change_interval(http::ResourceClass resource_class, Rng& rng);
 
+/// Zipf-distributed popularity rank in [0, n): P(k) ∝ 1/(k+1)^s. Rank 0 is
+/// the most popular item. Site-visit frequency across a user population is
+/// classically Zipfian; `s` near 0.9 matches web-trace fits. O(n) per draw
+/// by CDF inversion — fine for catalog-sized n. Requires n > 0.
+std::size_t draw_zipf_rank(std::size_t n, double s, Rng& rng);
+
+/// Draws one inter-visit gap for a user whose visits form a Poisson
+/// process with the given mean gap (⇒ exponential gaps), floored at one
+/// minute so that a revisit never lands inside the previous page load.
+/// Requires mean_gap > 0.
+Duration draw_visit_gap(Duration mean_gap, Rng& rng);
+
 }  // namespace catalyst::workload

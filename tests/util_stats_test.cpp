@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <thread>
+#include <vector>
 
 namespace catalyst {
 namespace {
@@ -64,6 +66,47 @@ TEST(SummaryTest, Ci95ShrinksWithN) {
   EXPECT_GT(small.ci95_halfwidth(), large.ci95_halfwidth());
 }
 
+TEST(SummaryMergeTest, MergeOfSplitsEqualsSingleAccumulation) {
+  const std::vector<double> xs = {3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0};
+  Summary whole;
+  whole.add_all(xs);
+
+  Summary left, right;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    (i < xs.size() / 2 ? left : right).add(xs[i]);
+  }
+  left.merge(right);
+
+  ASSERT_EQ(left.count(), whole.count());
+  // Sample order must match exactly so floating-point accumulation is
+  // bit-identical — the fleet determinism invariant rides on this.
+  EXPECT_EQ(left.samples(), whole.samples());
+  EXPECT_DOUBLE_EQ(left.sum(), whole.sum());
+  EXPECT_DOUBLE_EQ(left.median(), whole.median());
+  EXPECT_DOUBLE_EQ(left.percentile(95), whole.percentile(95));
+}
+
+TEST(SummaryMergeTest, MergeEmptyIsNoOp) {
+  Summary s;
+  s.add(1.0);
+  Summary empty;
+  s.merge(empty);
+  EXPECT_EQ(s.count(), 1u);
+  empty.merge(s);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.0);
+}
+
+TEST(SummaryMergeTest, MergeInvalidatesSortedCache) {
+  Summary s;
+  s.add(1.0);
+  EXPECT_DOUBLE_EQ(s.median(), 1.0);  // populate the sorted cache
+  Summary other;
+  other.add(3.0);
+  s.merge(other);
+  EXPECT_DOUBLE_EQ(s.median(), 2.0);
+}
+
 TEST(HistogramTest, BinningAndClamping) {
   Histogram h(0.0, 10.0, 5);
   h.add(0.5);    // bin 0
@@ -92,6 +135,55 @@ TEST(HistogramTest, SparklineWidthMatchesBins) {
     if ((static_cast<unsigned char>(c) & 0xC0) != 0x80) ++glyphs;
   }
   EXPECT_EQ(glyphs, 8u);
+}
+
+TEST(HistogramMergeTest, MergeOfSplitsEqualsSingleAccumulation) {
+  Histogram whole(0.0, 10.0, 5);
+  Histogram a(0.0, 10.0, 5), b(0.0, 10.0, 5);
+  const double xs[] = {0.5, 2.5, 5.0, 7.5, 9.9, -1.0, 42.0};
+  for (std::size_t i = 0; i < std::size(xs); ++i) {
+    whole.add(xs[i]);
+    (i % 2 == 0 ? a : b).add(xs[i]);
+  }
+  a.merge(b);
+  ASSERT_EQ(a.total(), whole.total());
+  for (std::size_t bin = 0; bin < whole.bin_count(); ++bin) {
+    EXPECT_EQ(a.count(bin), whole.count(bin)) << "bin " << bin;
+  }
+  EXPECT_EQ(a.sparkline(), whole.sparkline());
+}
+
+TEST(HistogramMergeTest, ShapeMismatchThrows) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_THROW(h.merge(Histogram(0.0, 10.0, 6)), std::invalid_argument);
+  EXPECT_THROW(h.merge(Histogram(0.0, 20.0, 5)), std::invalid_argument);
+  EXPECT_THROW(h.merge(Histogram(1.0, 10.0, 5)), std::invalid_argument);
+}
+
+TEST(CacheCountersTest, MergeSumsEveryField) {
+  CacheCounters a{1, 2, 3, 4, 5, 6};
+  const CacheCounters b{10, 20, 30, 40, 50, 60};
+  a.merge(b);
+  EXPECT_EQ(a, (CacheCounters{11, 22, 33, 44, 55, 66}));
+  EXPECT_EQ(a.total(), 11u + 22 + 33 + 44 + 55);
+  EXPECT_EQ(a.avoided_downloads(), 22u + 33 + 44 + 55);
+}
+
+TEST(AtomicCacheCountersTest, ConcurrentRecordsAllLand) {
+  AtomicCacheCounters atomic;
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&atomic] {
+      const CacheCounters delta{1, 2, 3, 4, 5, 6};
+      for (std::uint64_t i = 0; i < kPerThread; ++i) atomic.record(delta);
+    });
+  }
+  for (auto& t : threads) t.join();
+  const CacheCounters got = atomic.snapshot();
+  const std::uint64_t n = kThreads * kPerThread;
+  EXPECT_EQ(got, (CacheCounters{n, 2 * n, 3 * n, 4 * n, 5 * n, 6 * n}));
 }
 
 }  // namespace
