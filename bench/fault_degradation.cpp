@@ -1,0 +1,114 @@
+// Degradation curves: how Baseline and Catalyst page loads degrade as the
+// network loses responses.
+//
+// For each loss rate the fleet replays the same user population (same
+// seed, same visit timelines, same fault schedule keying) under the plain
+// Baseline strategy and under Catalyst, and reports revisit PLT p50/p95,
+// the fallback-revalidation rate, and the failure tallies. The output is
+// a stable JSON document on stdout (one curve per strategy); progress and
+// timing go to stderr.
+//
+// Determinism: fault decisions are keyed (fault_seed, user_id, request
+// ordinal), so each point of the curve is bit-identical across reruns and
+// thread counts — the curve measures the strategy, not the scheduler.
+//
+// CATALYST_FAULT_USERS overrides the per-point fleet size (default 96).
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fleet/runner.h"
+#include "util/json.h"
+
+using namespace catalyst;
+
+namespace {
+
+int fleet_users() {
+  if (const char* env = std::getenv("CATALYST_FAULT_USERS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return 96;
+}
+
+Json run_point(core::StrategyKind strategy, double loss,
+               std::uint64_t users, int threads) {
+  fleet::FleetParams params;
+  params.strategy = strategy;
+  params.baseline = strategy;  // no comparison replay; the curve compares
+  params.shard_size = 32;
+  params.faults.loss_rate = loss;
+  params.faults.stall_rate = loss / 4.0;
+
+  fleet::FleetRunner runner(params, users, threads);
+  const fleet::FleetReport report = runner.run();
+
+  Json point = Json::object();
+  point.set("loss_rate", Json::number(loss));
+  point.set("plt_p50_ms", Json::number(report.plt_ms.percentile(50)));
+  point.set("plt_p95_ms", Json::number(report.plt_ms.percentile(95)));
+  const double fetches = static_cast<double>(report.counters.total());
+  point.set("fallback_revalidation_rate_pct",
+            Json::number(fetches > 0.0
+                             ? 100.0 *
+                                   static_cast<double>(
+                                       report.faults.fallback_revalidations) /
+                                   fetches
+                             : 0.0));
+  point.set("timeouts",
+            Json::number(static_cast<double>(report.faults.timeouts)));
+  point.set("retries",
+            Json::number(static_cast<double>(report.faults.retries)));
+  point.set("connection_failures",
+            Json::number(
+                static_cast<double>(report.faults.connection_failures)));
+  point.set("failed_loads",
+            Json::number(static_cast<double>(report.faults.failed_loads)));
+  point.set("stale_served",
+            Json::number(static_cast<double>(report.counters.stale_served)));
+  return point;
+}
+
+}  // namespace
+
+int main() {
+  const auto users = static_cast<std::uint64_t>(fleet_users());
+  const int threads = std::max(1u, std::thread::hardware_concurrency());
+  const std::vector<double> loss_rates = {0.0, 0.005, 0.01, 0.02, 0.05};
+
+  const struct {
+    core::StrategyKind kind;
+    const char* name;
+  } strategies[] = {
+      {core::StrategyKind::Baseline, "baseline"},
+      {core::StrategyKind::Catalyst, "catalyst"},
+  };
+
+  const auto t0 = std::chrono::steady_clock::now();
+  Json curves = Json::object();
+  for (const auto& strategy : strategies) {
+    Json curve = Json::array();
+    for (const double loss : loss_rates) {
+      std::fprintf(stderr, "fault_degradation: %s loss=%.3f (%llu users)\n",
+                   strategy.name, loss,
+                   static_cast<unsigned long long>(users));
+      curve.push_back(run_point(strategy.kind, loss, users, threads));
+    }
+    curves.set(strategy.name, std::move(curve));
+  }
+
+  Json doc = Json::object();
+  doc.set("users_per_point", Json::number(static_cast<double>(users)));
+  doc.set("curves", std::move(curves));
+  std::printf("%s\n", doc.dump().c_str());
+
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  std::fprintf(stderr, "fault_degradation: %.1f s wall\n", secs);
+  return 0;
+}

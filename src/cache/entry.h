@@ -13,6 +13,10 @@ struct CacheEntry {
   TimePoint request_time{};   // when the request was initiated
   TimePoint response_time{};  // when the response arrived
 
+  /// Body checksum taken at store time (SW cache only); a mismatch at
+  /// match time means the stored bytes rotted and must not be served.
+  std::uint64_t body_digest = 0;
+
   /// Storage cost: response wire size plus a small bookkeeping overhead.
   ByteCount cost() const { return response.wire_size() + 64; }
 

@@ -1,5 +1,7 @@
 #include "cache/sw_cache.h"
 
+#include "util/hash.h"
+
 namespace catalyst::cache {
 
 bool SwCache::put(const std::string& url, http::Response response) {
@@ -9,6 +11,7 @@ bool SwCache::put(const std::string& url, http::Response response) {
   }
   if (!response.etag()) return false;
   CacheEntry entry;
+  entry.body_digest = fnv1a64(response.body);
   entry.response = std::move(response);
   if (store_.put(url, std::move(entry))) {
     ++stats_.stores;
@@ -24,6 +27,13 @@ const http::Response* SwCache::match(const std::string& url,
     ++stats_.misses;
     return nullptr;
   }
+  if (entry->body_digest != fnv1a64(entry->response.body)) {
+    // The stored bytes rotted: evict, never serve. The caller falls back
+    // to a conditional GET regardless of what the map says.
+    ++stats_.integrity_failures;
+    store_.erase(url);
+    return nullptr;
+  }
   const auto stored = entry->etag();
   if (stored && stored->weak_equals(expected_etag)) {
     ++stats_.hits;
@@ -31,6 +41,12 @@ const http::Response* SwCache::match(const std::string& url,
   }
   ++stats_.etag_mismatches;
   return nullptr;
+}
+
+void SwCache::corrupt(const std::string& url) {
+  if (CacheEntry* entry = store_.get(url)) {
+    entry->body_digest ^= 0x1ull;
+  }
 }
 
 std::optional<http::Etag> SwCache::stored_etag(const std::string& url) const {

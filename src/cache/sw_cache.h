@@ -20,6 +20,9 @@ struct SwCacheStats {
   std::uint64_t etag_mismatches = 0;
   std::uint64_t misses = 0;
   std::uint64_t rejected_no_store = 0;
+  /// Entries whose body no longer matched the digest taken at store time;
+  /// they are evicted rather than served.
+  std::uint64_t integrity_failures = 0;
 };
 
 class SwCache {
@@ -41,6 +44,10 @@ class SwCache {
   /// Stored ETag for a URL, if any (used to decide revalidation fallbacks
   /// for resources missing from the map).
   std::optional<http::Etag> stored_etag(const std::string& url) const;
+
+  /// Fault/test hook: invalidates the stored digest for `url` so the next
+  /// match sees an integrity failure (simulated storage corruption).
+  void corrupt(const std::string& url);
 
   bool contains(const std::string& url) const {
     return store_.peek(url) != nullptr;

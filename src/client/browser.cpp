@@ -177,6 +177,14 @@ void Browser::fetch(const Url& url, bool is_navigation,
           // Map-covered but changed: the HTTP cache's TTL must not serve
           // the stale copy.
           force_revalidate = true;
+          if (intercept.fallback) {
+            // Degradation fallback (untrusted map / integrity failure):
+            // tag the outcome so the page load records it.
+            on_done = [cb = std::move(on_done)](FetchOutcome outcome) mutable {
+              outcome.sw_fallback = true;
+              cb(std::move(outcome));
+            };
+          }
           break;
         case CatalystServiceWorker::Decision::ForwardDefault:
           // Uncovered: plain fetch() — status-quo cache semantics.

@@ -19,10 +19,42 @@
 
 namespace catalyst::client {
 
+/// Client-side resilience knobs. Disabled by default, in which case the
+/// fetcher behaves exactly as it always has — no timers, no retries, no
+/// extra events — so zero-fault runs stay byte-identical.
+struct ResilienceConfig {
+  bool enabled = false;
+
+  /// Per-request deadline. Silent faults (stalled transfers, blackholed
+  /// origins) raise no error; this timer is the only recovery path.
+  Duration request_timeout = seconds(15);
+
+  /// Retry budget per request after the first attempt. Only idempotent
+  /// GETs are retried; anything else fails straight to a 504.
+  int max_retries = 2;
+
+  /// Capped exponential backoff between attempts.
+  Duration backoff_base = milliseconds(200);
+  double backoff_multiplier = 2.0;
+  Duration backoff_cap = seconds(5);
+};
+
+/// Per-visit resilience telemetry (reset by close_all, like the RTT and
+/// byte aggregates).
+struct FetcherStats {
+  std::uint64_t timeouts_fired = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t connection_failures = 0;
+  /// Requests that exhausted their retry budget; the caller saw a
+  /// synthesized 504 Gateway Timeout.
+  std::uint64_t failed_requests = 0;
+};
+
 struct FetcherConfig {
   netsim::Protocol protocol = netsim::Protocol::H1;
   bool tls = true;
   std::size_t max_connections_per_origin = 6;
+  ResilienceConfig resilience;
 };
 
 class Fetcher {
@@ -68,8 +100,17 @@ class Fetcher {
   ByteCount total_bytes_received() const;
   std::size_t connection_count() const;
 
+  const FetcherStats& stats() const { return stats_; }
+
  private:
+  struct PendingFetch;
+
   netsim::Connection& pick_connection(const std::string& origin_host);
+
+  /// Resilient path: dispatches one attempt with a deadline timer and
+  /// attempt-token guards against late responses/errors.
+  void dispatch(const std::shared_ptr<PendingFetch>& fetch);
+  void retry_or_fail(const std::shared_ptr<PendingFetch>& fetch);
 
   netsim::Network& network_;
   std::string client_host_;
@@ -80,6 +121,7 @@ class Fetcher {
   PromiseCallback promise_handler_;
   HintsCallback hints_handler_;
   std::set<std::string> dns_resolved_;  // origins already resolved
+  FetcherStats stats_;
 };
 
 }  // namespace catalyst::client

@@ -18,6 +18,9 @@ struct FetchOutcome {
   /// Set by the (measurement-only) staleness audit: the bytes served from
   /// a cache differ from the origin's current content.
   bool stale = false;
+  /// The fetch went to the network as a degradation fallback: the SW's
+  /// map was untrustworthy or the cached body failed its integrity check.
+  bool sw_fallback = false;
 };
 
 /// Result of one full page load.
@@ -51,6 +54,13 @@ struct PageLoadResult {
   /// The paper's correctness claim: this is always 0 for CacheCatalyst's
   /// SW-served resources; status-quo caching can serve stale within TTL.
   std::uint32_t stale_served = 0;
+
+  /// Fault/degradation telemetry — all zero on clean runs.
+  std::uint32_t fallback_revalidations = 0;  // SW degraded-mode cond. GETs
+  std::uint32_t timeouts_fired = 0;          // request deadlines that fired
+  std::uint32_t retries = 0;                 // re-dispatched attempts
+  std::uint32_t connection_failures = 0;     // detectable mid-stream errors
+  std::uint32_t failed_loads = 0;            // resources finishing with 5xx
 
   netsim::TraceLog trace;
 };

@@ -60,6 +60,8 @@ void PageLoader::record(const Url& url, http::ResourceClass rc,
                  : 0);
   result_.trace.record(std::move(trace));
   if (outcome.stale) ++result_.stale_served;
+  if (outcome.sw_fallback) ++result_.fallback_revalidations;
+  if (http::code(outcome.response.status) >= 500) ++result_.failed_loads;
   if (outcome.response.status == http::Status::Ok) {
     observed_.emplace(url.path, outcome.response);
   }
@@ -334,6 +336,11 @@ void PageLoader::finish() {
   result_.rtts =
       static_cast<std::uint32_t>(browser_.fetcher().total_rtts());
   result_.bytes_downloaded = browser_.fetcher().total_bytes_received();
+  const FetcherStats& fs = browser_.fetcher().stats();
+  result_.timeouts_fired = static_cast<std::uint32_t>(fs.timeouts_fired);
+  result_.retries = static_cast<std::uint32_t>(fs.retries);
+  result_.connection_failures =
+      static_cast<std::uint32_t>(fs.connection_failures);
 
   post_onload_sw_registration();
 

@@ -4,15 +4,30 @@
 
 namespace catalyst::client {
 
-void CatalystServiceWorker::install_map_from(
+CatalystServiceWorker::MapInstall CatalystServiceWorker::install_map_from(
     const http::Response& navigation_response) {
   const auto header =
       navigation_response.headers.get(http::kXEtagConfig);
-  if (!header) return;
+  if (!header) {
+    // Lost or stripped in transit. Any previous map's tokens expired with
+    // the page load they arrived on, so drop it and run degraded.
+    map_.reset();
+    degraded_ = true;
+    ++stats_.maps_missing;
+    return MapInstall::Missing;
+  }
   auto parsed = http::EtagConfig::parse(*header);
-  if (!parsed) return;  // malformed map: keep forwarding, never break pages
+  if (!parsed) {
+    // Truncated/garbled map: worse than none — never trust it.
+    map_.reset();
+    degraded_ = true;
+    ++stats_.maps_rejected;
+    return MapInstall::Malformed;
+  }
   map_ = std::move(*parsed);
+  degraded_ = false;
   ++stats_.maps_installed;
+  return MapInstall::Installed;
 }
 
 CatalystServiceWorker::InterceptResult CatalystServiceWorker::try_serve(
@@ -20,22 +35,33 @@ CatalystServiceWorker::InterceptResult CatalystServiceWorker::try_serve(
   ++stats_.intercepted;
   if (!map_) {
     ++stats_.forwarded;
-    return {Decision::ForwardDefault, nullptr};
+    if (degraded_) {
+      // Degraded mode: with no trustworthy map, forward as a conditional
+      // GET — correctness must not rest on the HTTP cache's TTLs.
+      ++stats_.fallback_revalidations;
+      return {Decision::ForwardRevalidate, nullptr, true};
+    }
+    return {Decision::ForwardDefault, nullptr, false};
   }
   const auto expected = map_->find(path);
   if (!expected) {
     ++stats_.forwarded;
-    return {Decision::ForwardDefault, nullptr};
+    return {Decision::ForwardDefault, nullptr, false};
   }
+  const std::uint64_t integrity_before = cache_.stats().integrity_failures;
   const http::Response* cached = cache_.match(path, *expected);
   if (cached == nullptr) {
     // Covered but changed (or never cached): the map is authoritative
-    // that our copy is unusable.
+    // that our copy is unusable. A body that failed its integrity check
+    // lands here too — that one counts as a degradation fallback.
     ++stats_.forwarded;
-    return {Decision::ForwardRevalidate, nullptr};
+    const bool integrity_fallback =
+        cache_.stats().integrity_failures > integrity_before;
+    if (integrity_fallback) ++stats_.fallback_revalidations;
+    return {Decision::ForwardRevalidate, nullptr, integrity_fallback};
   }
   ++stats_.served_from_cache;
-  return {Decision::ServeFromCache, cached};
+  return {Decision::ServeFromCache, cached, false};
 }
 
 void CatalystServiceWorker::observe_response(

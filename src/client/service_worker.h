@@ -23,6 +23,14 @@ struct ServiceWorkerStats {
   std::uint64_t served_from_cache = 0;
   std::uint64_t forwarded = 0;
   std::uint64_t maps_installed = 0;
+  /// Navigation responses that should have carried an X-Etag-Config but
+  /// did not (lost/truncated in transit, origin degraded).
+  std::uint64_t maps_missing = 0;
+  /// Headers present but unparseable.
+  std::uint64_t maps_rejected = 0;
+  /// Requests forwarded as forced conditional GETs because the map was
+  /// untrustworthy or a cached body failed its integrity check.
+  std::uint64_t fallback_revalidations = 0;
 };
 
 class CatalystServiceWorker {
@@ -37,12 +45,21 @@ class CatalystServiceWorker {
   void unregister() {
     registered_ = false;
     map_.reset();
+    degraded_ = false;
   }
+
+  enum class MapInstall { Installed, Missing, Malformed };
 
   /// Ingests the X-Etag-Config header from a base-HTML response (200 or
   /// 304). Replaces any previous map — tokens are only trusted for the
-  /// page load they arrived with.
-  void install_map_from(const http::Response& navigation_response);
+  /// page load they arrived with. A missing or malformed header drops the
+  /// previous map too (its tokens are just as expired) and enters
+  /// degraded mode: subresources forward as conditional GETs until a
+  /// fresh map arrives, so correctness never rests on TTL heuristics.
+  MapInstall install_map_from(const http::Response& navigation_response);
+
+  /// True while operating without a trustworthy map (see install_map_from).
+  bool degraded() const { return degraded_; }
 
   /// The currently installed map, if any.
   const http::EtagConfig* current_map() const {
@@ -68,6 +85,9 @@ class CatalystServiceWorker {
     /// Set for ServeFromCache; owned by the SW cache and invalidated by
     /// subsequent stores.
     const http::Response* response = nullptr;
+    /// The forward is a degradation fallback (untrustworthy map or a
+    /// cached body that failed its integrity check), not a normal miss.
+    bool fallback = false;
   };
 
   InterceptResult try_serve(const std::string& path);
@@ -83,6 +103,7 @@ class CatalystServiceWorker {
 
  private:
   bool registered_ = false;
+  bool degraded_ = false;
   std::optional<http::EtagConfig> map_;
   cache::SwCache cache_;
   ServiceWorkerStats stats_;

@@ -14,6 +14,14 @@ Testbed make_testbed(std::shared_ptr<server::Site> site,
   tb.network->set_model_slow_start(options.slow_start);
   tb.network->set_dns_lookup(options.dns_lookup);
 
+  // Fault layer: pay-for-what-you-use. With all knobs zero, no plan is
+  // created, transport takes its original paths, and the client runs
+  // without timers/retries — output stays byte-identical to clean builds.
+  if (conditions.faults.any()) {
+    tb.faults = std::make_unique<netsim::FaultPlan>(conditions.faults);
+    tb.network->set_fault_plan(tb.faults.get());
+  }
+
   // Topology: throttled client access link; well-provisioned origin.
   netsim::HostSpec client_spec;
   client_spec.uplink = conditions.uplink;
@@ -72,6 +80,9 @@ Testbed make_testbed(std::shared_ptr<server::Site> site,
   if (options.mobile_client) {
     bc.processing = client::ProcessingModel::mobile();
   }
+  // Under injected faults the browser needs deadlines + retries to
+  // guarantee every visit completes.
+  bc.fetcher.resilience.enabled = conditions.faults.any();
   tb.browser = std::make_unique<client::Browser>(*tb.network, bc);
 
   // Measurement-only staleness audit: flags cache-served bytes that no

@@ -18,6 +18,9 @@ namespace catalyst::core {
 struct Testbed {
   std::unique_ptr<netsim::EventLoop> loop;
   std::unique_ptr<netsim::Network> network;
+  // Fault-injection plan the network points at (only when
+  // conditions.faults.any(); nullptr on clean runs).
+  std::unique_ptr<netsim::FaultPlan> faults;
   std::shared_ptr<server::Site> site;
   std::unique_ptr<server::Server> origin;
   std::unique_ptr<RdrProxy> proxy;  // RdrProxy strategy only

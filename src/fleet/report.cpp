@@ -36,6 +36,7 @@ void FleetReport::merge(const FleetReport& other) {
   visits += other.visits;
   revisits += other.revisits;
   counters.merge(other.counters);
+  faults.merge(other.faults);
   bytes_on_wire += other.bytes_on_wire;
   baseline_bytes_on_wire += other.baseline_bytes_on_wire;
   rtts += other.rtts;
@@ -60,6 +61,21 @@ Json FleetReport::to_json() const {
   c.set("from_push", Json::number(static_cast<double>(counters.from_push)));
   c.set("stale_served", Json::number(static_cast<double>(counters.stale_served)));
   j.set("revisit_fetches", std::move(c));
+
+  // Only present on faulty runs: zero-fault reports must serialize to the
+  // exact bytes they produced before the fault layer existed.
+  if (faults.any()) {
+    Json f = Json::object();
+    f.set("timeouts", Json::number(static_cast<double>(faults.timeouts)));
+    f.set("retries", Json::number(static_cast<double>(faults.retries)));
+    f.set("connection_failures",
+          Json::number(static_cast<double>(faults.connection_failures)));
+    f.set("fallback_revalidations",
+          Json::number(static_cast<double>(faults.fallback_revalidations)));
+    f.set("failed_loads",
+          Json::number(static_cast<double>(faults.failed_loads)));
+    j.set("faults", std::move(f));
+  }
 
   j.set("bytes_on_wire", Json::number(static_cast<double>(bytes_on_wire)));
   j.set("baseline_bytes_on_wire",
@@ -103,6 +119,16 @@ std::string FleetReport::render_table(const std::string& title) const {
   table.add_row({"  sw-cache hits", pct_of(counters.from_sw_cache)});
   table.add_row({"  push deliveries", pct_of(counters.from_push)});
   table.add_row({"  stale served", std::to_string(counters.stale_served)});
+  if (faults.any()) {
+    table.add_separator();
+    table.add_row({"timeouts fired", std::to_string(faults.timeouts)});
+    table.add_row({"retries", std::to_string(faults.retries)});
+    table.add_row(
+        {"connection failures", std::to_string(faults.connection_failures)});
+    table.add_row({"fallback revalidations",
+                   std::to_string(faults.fallback_revalidations)});
+    table.add_row({"failed loads (5xx)", std::to_string(faults.failed_loads)});
+  }
   table.add_separator();
   table.add_row({"bytes on wire", format_bytes(bytes_on_wire)});
   table.add_row({"rtts", std::to_string(rtts)});

@@ -26,6 +26,11 @@ struct FleetReport {
   /// related work measures — what happens when a cache is warm).
   CacheCounters counters;
 
+  /// Fault/degradation tallies across ALL treatment visits (cold loads
+  /// included — faults do not spare them). Serialized only when non-zero
+  /// so clean-run reports stay byte-identical to pre-fault builds.
+  FaultCounters faults;
+
   /// Wire totals across all treatment visits, and the same users replayed
   /// under the baseline strategy (zero when no baseline was run).
   ByteCount bytes_on_wire = 0;

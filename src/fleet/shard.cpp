@@ -11,10 +11,15 @@ namespace {
 /// exactly like run_visit_sequence).
 std::vector<client::PageLoadResult> replay_timeline(
     const std::shared_ptr<server::Site>& site, const UserProfile& profile,
-    core::StrategyKind kind, core::StrategyOptions options) {
+    core::StrategyKind kind, core::StrategyOptions options,
+    netsim::FaultSpec faults) {
   options.mobile_client = profile.mobile_client;
-  core::Testbed tb = core::make_testbed(site, conditions_for(profile.tier),
-                                        kind, options);
+  netsim::NetworkConditions conditions = conditions_for(profile.tier);
+  conditions.faults = faults;
+  // Key the fault decision stream by user id (the fleet RNG discipline):
+  // user i's faults are the same regardless of shard or thread count.
+  conditions.faults.stream = profile.user_id;
+  core::Testbed tb = core::make_testbed(site, conditions, kind, options);
   std::vector<client::PageLoadResult> results;
   results.reserve(profile.visits.size());
   for (const TimePoint at : profile.visits) {
@@ -40,11 +45,12 @@ std::shared_ptr<server::Site> Shard::site_for(int site_index) {
 void Shard::replay_user(const UserProfile& profile, FleetReport& report) {
   const auto site = site_for(profile.site_index);
   const auto treat = replay_timeline(site, profile, params_.strategy,
-                                     params_.options);
+                                     params_.options, params_.faults);
   const bool compare = params_.baseline != params_.strategy;
   std::vector<client::PageLoadResult> base;
   if (compare) {
-    base = replay_timeline(site, profile, params_.baseline, params_.options);
+    base = replay_timeline(site, profile, params_.baseline, params_.options,
+                           params_.faults);
   }
 
   report.users += 1;
@@ -64,6 +70,13 @@ void Shard::replay_user(const UserProfile& profile, FleetReport& report) {
       report.baseline_bytes_on_wire += base[i].bytes_downloaded;
       report.baseline_rtts += base[i].rtts;
     }
+    // Fault tallies cover every treatment visit — cold loads get hit by
+    // faults like any other.
+    report.faults.timeouts += r.timeouts_fired;
+    report.faults.retries += r.retries;
+    report.faults.connection_failures += r.connection_failures;
+    report.faults.fallback_revalidations += r.fallback_revalidations;
+    report.faults.failed_loads += r.failed_loads;
     if (i == 0) continue;  // cold load: all-network by construction
 
     CacheCounters c;

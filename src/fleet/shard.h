@@ -33,6 +33,12 @@ struct FleetParams {
   /// Per-testbed knobs; `mobile_client` is overridden per user.
   core::StrategyOptions options;
 
+  /// Fault-injection knobs applied to every user's network (default: all
+  /// zero, no fault layer). The per-user testbed keys the decision stream
+  /// by user id, so fault schedules — like everything else — are a pure
+  /// function of (seed, user id) and independent of sharding/threading.
+  netsim::FaultSpec faults;
+
   /// Users per shard. Purely a scheduling granularity: results are
   /// bit-identical for any value because each user's replay is
   /// self-contained and merging is canonicalized.

@@ -24,8 +24,12 @@ std::string_view reason_phrase(Status s) {
       return "Precondition Failed";
     case Status::InternalServerError:
       return "Internal Server Error";
+    case Status::BadGateway:
+      return "Bad Gateway";
     case Status::ServiceUnavailable:
       return "Service Unavailable";
+    case Status::GatewayTimeout:
+      return "Gateway Timeout";
   }
   return "Unknown";
 }

@@ -16,7 +16,9 @@ enum class Status : int {
   NotFound = 404,
   PreconditionFailed = 412,
   InternalServerError = 500,
+  BadGateway = 502,
   ServiceUnavailable = 503,
+  GatewayTimeout = 504,
 };
 
 constexpr int code(Status s) { return static_cast<int>(s); }

@@ -10,11 +10,11 @@ std::string NetworkConditions::label() const {
 }
 
 NetworkConditions NetworkConditions::median_5g() {
-  return NetworkConditions{mbps(60), mbps(12), milliseconds(40), false};
+  return NetworkConditions{mbps(60), mbps(12), milliseconds(40), false, {}};
 }
 
 NetworkConditions NetworkConditions::low_throughput(Duration rtt) {
-  return NetworkConditions{mbps(8), mbps(2), rtt, false};
+  return NetworkConditions{mbps(8), mbps(2), rtt, false, {}};
 }
 
 std::vector<NetworkConditions> NetworkConditions::figure3_grid() {

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "netsim/faults.h"
 #include "util/types.h"
 
 namespace catalyst::netsim {
@@ -19,6 +20,9 @@ struct NetworkConditions {
   /// addition to the fluid transmission time (ablation knob; the paper's
   /// Chrome throttling shapes an underlying real TCP similarly).
   bool model_slow_start = false;
+
+  /// Fault-injection knobs; all zero by default (no fault layer wired).
+  FaultSpec faults;
 
   std::string label() const;
 

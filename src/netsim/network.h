@@ -21,6 +21,8 @@
 
 namespace catalyst::netsim {
 
+class FaultPlan;
+
 /// Access-link capacities of a host.
 struct HostSpec {
   Bandwidth uplink = gbps(1);
@@ -108,6 +110,12 @@ class Network {
   /// Total bytes moved through the network so far.
   ByteCount total_bytes_transferred() const { return total_bytes_; }
 
+  /// Fault-injection plan consulted by connections (non-owning; nullptr —
+  /// the default — means the fault layer is not wired and transport code
+  /// takes its original paths untouched).
+  void set_fault_plan(FaultPlan* plan) { fault_plan_ = plan; }
+  FaultPlan* fault_plan() const { return fault_plan_; }
+
  private:
   EventLoop& loop_;
   std::map<std::string, std::unique_ptr<Host>> hosts_;
@@ -115,6 +123,7 @@ class Network {
   bool model_slow_start_ = false;
   Duration dns_lookup_ = Duration::zero();
   ByteCount total_bytes_ = 0;
+  FaultPlan* fault_plan_ = nullptr;
 };
 
 }  // namespace catalyst::netsim

@@ -21,6 +21,7 @@ void Connection::connect(std::function<void()> on_established) {
                                    std::move(on_established));
     return;
   }
+  if (state_ == State::Broken) return;  // pool must open a fresh connection
   connect_waiters_.push_back(std::move(on_established));
   if (state_ == State::Connecting) return;
   state_ = State::Connecting;
@@ -32,6 +33,7 @@ void Connection::connect(std::function<void()> on_established) {
   Duration handshake = network_.rtt(client_, server_) * handshake_rtts;
   if (resolve_dns_) handshake += network_.dns_lookup();
   network_.loop().schedule_after(handshake, [this] {
+    if (state_ != State::Connecting) return;  // failed during handshake
     state_ = State::Established;
     auto waiters = std::move(connect_waiters_);
     connect_waiters_.clear();
@@ -40,14 +42,38 @@ void Connection::connect(std::function<void()> on_established) {
   });
 }
 
+void Connection::fail() {
+  if (state_ == State::Broken) return;
+  state_ = State::Broken;
+  connect_waiters_.clear();
+  // Error out queued requests via the loop: fail() can run inside a
+  // transfer callback, and the error handlers typically re-enter the
+  // pool to retry on a fresh connection.
+  auto queued = std::move(queue_);
+  queue_.clear();
+  for (auto& pending : queued) {
+    if (!pending.on_error) continue;
+    network_.loop().schedule_after(Duration::zero(),
+                                   std::move(pending.on_error));
+  }
+}
+
 void Connection::send_request(http::Request request,
                               ResponseCallback on_response,
                               PushCallback on_push,
                               PromiseCallback on_promise,
-                              HintsCallback on_hints) {
+                              HintsCallback on_hints,
+                              ErrorCallback on_error) {
+  if (state_ == State::Broken) {
+    if (on_error) {
+      network_.loop().schedule_after(Duration::zero(), std::move(on_error));
+    }
+    return;
+  }
   queue_.push_back(PendingRequest{std::move(request), std::move(on_response),
                                   std::move(on_push), std::move(on_promise),
-                                  std::move(on_hints)});
+                                  std::move(on_hints), std::move(on_error),
+                                  FaultDecision{}});
   if (state_ != State::Established) {
     connect([] {});
     return;  // pump() runs on establishment
@@ -68,6 +94,9 @@ void Connection::pump() {
 void Connection::start_exchange(PendingRequest pending) {
   ++inflight_;
   ++rtts_consumed_;  // request leg + response leg propagation
+  if (FaultPlan* plan = network_.fault_plan()) {
+    pending.fault = plan->next_request();
+  }
   const ByteCount request_bytes = pending.request.wire_size();
   bytes_sent_ += request_bytes;
 
@@ -75,6 +104,24 @@ void Connection::start_exchange(PendingRequest pending) {
   // the reply (and any pushes) back.
   auto shared = std::make_shared<PendingRequest>(std::move(pending));
   network_.send_bytes(client_, server_, request_bytes, [this, shared] {
+    if (FaultPlan* plan = network_.fault_plan()) {
+      if (plan->origin_dark(network_.loop().now())) {
+        // Dark origin: the request's bytes crossed the wire but nothing
+        // answers and no error is raised — blackhole. The client deadline
+        // timer is the only way out; the exchange stays in flight.
+        plan->note_blackholed();
+        return;
+      }
+      if (shared->fault.server_error) {
+        // The load balancer is up but the application is down: a 503
+        // comes back without the origin handler ever running.
+        ServerReply reply;
+        reply.response = http::Response::make(http::Status::ServiceUnavailable);
+        reply.response.finalize(network_.loop().now());
+        deliver_reply(std::move(reply), *shared);
+        return;
+      }
+    }
     const RequestHandler& handler = network_.host(server_).handler();
     if (!handler) {
       throw std::logic_error("Connection: host " + server_ +
@@ -90,6 +137,43 @@ void Connection::deliver_reply(ServerReply reply, PendingRequest& pending) {
   ResponseCallback on_response = std::move(pending.on_response);
   PushCallback on_push = std::move(pending.on_push);
   PromiseCallback on_promise = std::move(pending.on_promise);
+
+  if (pending.fault.drop_mid_stream || pending.fault.stall) {
+    // The response transfer dies partway: a fraction of the bytes occupy
+    // the wire (and contend with healthy flows), then either the
+    // connection surfaces an error (drop — think RST) or nothing more
+    // ever happens (stall; only a client deadline recovers). Hints and
+    // pushes ride the same doomed stream and are lost with it.
+    const ByteCount full = reply.response.wire_size();
+    const ByteCount cut = std::max<ByteCount>(
+        1, static_cast<ByteCount>(
+               static_cast<double>(full) * pending.fault.progress_fraction));
+    bytes_received_ += cut;
+    const bool drop = pending.fault.drop_mid_stream;
+    auto transfer = [this, cut, drop,
+                     on_error = std::move(pending.on_error)]() mutable {
+      network_.send_bytes(server_, client_, cut,
+                          [this, drop, on_error = std::move(on_error)] {
+                            if (!drop) return;  // stall: silence
+                            --inflight_;
+                            if (protocol_ == Protocol::H1) {
+                              // Framing is broken mid-message; the whole
+                              // connection is unusable. H2 loses only the
+                              // stream (RST_STREAM).
+                              fail();
+                            }
+                            if (on_error) on_error();
+                            pump();
+                          });
+    };
+    if (pending.fault.extra_latency > Duration::zero()) {
+      network_.loop().schedule_after(pending.fault.extra_latency,
+                                     std::move(transfer));
+    } else {
+      transfer();
+    }
+    return;
+  }
 
   // 103 Early Hints: a ~150-byte interim response races ahead of the
   // body (it shares the downlink, but its transmission time is
@@ -140,6 +224,9 @@ void Connection::deliver_reply(ServerReply reply, PendingRequest& pending) {
     ramp_up = network_.rtt(client_, server_) *
               slow_start_rounds(response_bytes);
   }
+  // Injected latency spike (bufferbloat / rerouting episode): extra
+  // delay before the response transfer starts.
+  ramp_up += pending.fault.extra_latency;
 
   auto shared_resp = std::make_shared<http::Response>(
       std::move(reply.response));

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "http/message.h"
+#include "netsim/faults.h"
 #include "netsim/network.h"
 
 namespace catalyst::netsim {
@@ -31,6 +32,11 @@ class Connection {
   /// targets arrive ahead of the main response body.
   using HintsCallback =
       std::function<void(const std::vector<std::string>& urls)>;
+  /// Fires when the request's exchange fails with a *detectable* error
+  /// (connection reset mid-stream, or the connection broke while the
+  /// request was still queued). Silent faults — stalls, blackholed
+  /// origins — fire nothing; only a client deadline recovers those.
+  using ErrorCallback = std::function<void()>;
 
   /// `client`/`server` are host names registered in `network`. When
   /// `resolve_dns` is set, the handshake additionally pays the network's
@@ -64,7 +70,16 @@ class Connection {
   void send_request(http::Request request, ResponseCallback on_response,
                     PushCallback on_push = nullptr,
                     PromiseCallback on_promise = nullptr,
-                    HintsCallback on_hints = nullptr);
+                    HintsCallback on_hints = nullptr,
+                    ErrorCallback on_error = nullptr);
+
+  /// Marks the connection dead: queued requests error out, in-flight
+  /// exchanges are orphaned (late completions are ignored via pump()'s
+  /// state guard), and the pool stops handing the connection new work.
+  /// The object stays alive — scheduled callbacks capture `this`, so
+  /// destruction waits for close_all() after the loop drains.
+  void fail();
+  bool broken() const { return state_ == State::Broken; }
 
   Protocol protocol() const { return protocol_; }
   const std::string& server() const { return server_; }
@@ -76,7 +91,7 @@ class Connection {
   ByteCount bytes_sent() const { return bytes_sent_; }
 
  private:
-  enum class State { Idle, Connecting, Established };
+  enum class State { Idle, Connecting, Established, Broken };
 
   struct PendingRequest {
     http::Request request;
@@ -84,6 +99,8 @@ class Connection {
     PushCallback on_push;
     PromiseCallback on_promise;
     HintsCallback on_hints;
+    ErrorCallback on_error;
+    FaultDecision fault;  // decided when the exchange starts
   };
 
   void start_exchange(PendingRequest pending);

@@ -133,6 +133,14 @@ void CacheCounters::merge(const CacheCounters& other) {
   stale_served += other.stale_served;
 }
 
+void FaultCounters::merge(const FaultCounters& other) {
+  timeouts += other.timeouts;
+  retries += other.retries;
+  connection_failures += other.connection_failures;
+  fallback_revalidations += other.fallback_revalidations;
+  failed_loads += other.failed_loads;
+}
+
 void AtomicCacheCounters::record(const CacheCounters& delta) {
   slots_[0].fetch_add(delta.from_network, std::memory_order_relaxed);
   slots_[1].fetch_add(delta.from_cache, std::memory_order_relaxed);

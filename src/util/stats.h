@@ -102,6 +102,26 @@ struct CacheCounters {
   bool operator==(const CacheCounters& other) const = default;
 };
 
+/// Fault/degradation tallies from resilient page loads. All zero on clean
+/// runs — reports only serialize them when any() so zero-fault output is
+/// byte-identical to builds without the fault layer.
+struct FaultCounters {
+  std::uint64_t timeouts = 0;                // request deadlines fired
+  std::uint64_t retries = 0;                 // re-dispatched attempts
+  std::uint64_t connection_failures = 0;     // detectable mid-stream errors
+  std::uint64_t fallback_revalidations = 0;  // SW degraded-mode cond. GETs
+  std::uint64_t failed_loads = 0;            // resources finishing with 5xx
+
+  void merge(const FaultCounters& other);
+
+  bool any() const {
+    return timeouts != 0 || retries != 0 || connection_failures != 0 ||
+           fallback_revalidations != 0 || failed_loads != 0;
+  }
+
+  bool operator==(const FaultCounters& other) const = default;
+};
+
 /// Lock-free mirror of CacheCounters: shard worker threads record deltas
 /// with relaxed atomics (no ordering is needed — each increment is an
 /// independent tally), and the coordinator snapshots after joining the

@@ -170,6 +170,165 @@ TEST(RobustnessTest, NoStoreNeverLandsInAnyCache) {
   }
 }
 
+/// A hand-scripted Catalyst origin whose X-Etag-Config the test controls:
+/// the map can be omitted, list extra paths, or go stale relative to the
+/// content — the degradation scenarios a real CDN tier produces.
+class CatalystDegradationFixture : public ::testing::Test {
+ protected:
+  static constexpr const char* kHost = "degraded.example";
+
+  CatalystDegradationFixture() : net_(loop_) {
+    net_.add_host("client");
+    net_.add_host(kHost);
+    net_.set_rtt("client", kHost, milliseconds(20));
+    net_.host(kHost).set_handler(
+        [this](const http::Request& req, auto respond) {
+          respond(handle(req));
+        });
+    client::BrowserConfig bc;
+    bc.service_workers_enabled = true;
+    browser_ = std::make_unique<client::Browser>(net_, bc);
+    browser_->register_service_worker(kHost, {});
+  }
+
+  netsim::ServerReply handle(const http::Request& req) {
+    ++requests_[req.target];
+    netsim::ServerReply reply;
+    if (req.target == "/index.html") {
+      html::HtmlBuilder page("degraded");
+      page.add_stylesheet("/a.css");
+      page.add_image("/b.webp");
+      reply.response = http::Response::make(http::Status::Ok);
+      reply.response.body = page.build();
+      reply.response.headers.set(http::kContentType, "text/html");
+      if (send_map_) {
+        http::EtagConfig map;
+        map.add("/a.css", http::make_content_etag(css_body_));
+        map.add("/b.webp", http::make_content_etag(webp_body_));
+        for (const auto& [path, etag] : extra_map_entries_) {
+          map.add(path, etag);
+        }
+        reply.response.headers.set(http::kXEtagConfig, map.encode());
+      }
+    } else {
+      const std::string& body =
+          req.target == "/a.css" ? css_body_ : webp_body_;
+      const http::Etag etag = http::make_content_etag(body);
+      const auto inm = req.if_none_match();
+      if (inm && inm->matches(etag)) {
+        reply.response = http::Response::make(http::Status::NotModified);
+      } else {
+        reply.response = http::Response::make(http::Status::Ok);
+        reply.response.body = body;
+      }
+      reply.response.headers.set(http::kEtagHeader, etag.to_string());
+    }
+    reply.response.finalize(loop_.now());
+    return reply;
+  }
+
+  client::PageLoadResult load() {
+    std::optional<client::PageLoadResult> result;
+    browser_->load_page(
+        *Url::parse(std::string("https://") + kHost + "/index.html"),
+        [&](client::PageLoadResult r) { result = std::move(r); });
+    loop_.run();
+    browser_->end_visit();
+    EXPECT_TRUE(result.has_value()) << "page load did not complete";
+    return std::move(*result);
+  }
+
+  client::CatalystServiceWorker& sw() {
+    return browser_->service_worker(kHost);
+  }
+
+  netsim::EventLoop loop_;
+  netsim::Network net_;
+  std::unique_ptr<client::Browser> browser_;
+  std::map<std::string, int> requests_;
+  bool send_map_ = true;
+  std::string css_body_ = std::string(4096, 'c');
+  std::string webp_body_ = std::string(9000, 'w');
+  std::vector<std::pair<std::string, http::Etag>> extra_map_entries_;
+};
+
+TEST_F(CatalystDegradationFixture, MissingMapEntersDegradedModeThenRecovers) {
+  const auto cold = load();
+  EXPECT_EQ(cold.resources_total, 3u);
+  EXPECT_FALSE(sw().degraded());
+
+  // The origin stops sending X-Etag-Config (stripped by a middlebox, CDN
+  // misconfiguration). The previous map's tokens expired with their page
+  // load, so the SW must not trust any cached copy: every subresource
+  // forwards as a forced conditional GET — and the load still completes
+  // with correct bytes (304s against the unchanged origin).
+  send_map_ = false;
+  const auto degraded = load();
+  EXPECT_EQ(degraded.resources_total, 3u);
+  EXPECT_TRUE(sw().degraded());
+  EXPECT_EQ(sw().stats().maps_missing, 1u);
+  EXPECT_EQ(degraded.from_sw_cache, 0u);
+  EXPECT_EQ(degraded.fallback_revalidations, 2u);
+  EXPECT_EQ(degraded.not_modified, 2u);
+  EXPECT_EQ(degraded.failed_loads, 0u);
+
+  // A fresh map clears degraded mode and zero-RTT serving resumes.
+  send_map_ = true;
+  const auto recovered = load();
+  EXPECT_FALSE(sw().degraded());
+  EXPECT_EQ(recovered.from_sw_cache, 2u);
+  EXPECT_EQ(recovered.fallback_revalidations, 0u);
+}
+
+TEST_F(CatalystDegradationFixture, MapEntriesForUnreferencedUrlsAreHarmless) {
+  // The map lists a path the page no longer references (stale config
+  // pushed ahead of the HTML rollout). It must neither trigger a fetch
+  // nor disturb the load.
+  extra_map_entries_.emplace_back("/ghost.css",
+                                  http::make_content_etag("ghost"));
+  const auto cold = load();
+  EXPECT_EQ(cold.resources_total, 3u);
+  const auto revisit = load();
+  EXPECT_EQ(revisit.resources_total, 3u);
+  EXPECT_EQ(revisit.from_sw_cache, 2u);
+  EXPECT_EQ(requests_["/ghost.css"], 0);
+  ASSERT_NE(sw().current_map(), nullptr);
+  EXPECT_EQ(sw().current_map()->size(), 3u);
+}
+
+TEST_F(CatalystDegradationFixture, MapEtagMismatchRevalidatesToFreshBytes) {
+  (void)load();
+  // The stylesheet changes on the origin: the new map vouches for bytes
+  // the SW does not hold, so the cached copy must NOT be served — the
+  // fetch goes to the network and brings back the new version.
+  css_body_ = std::string(5000, 'C');
+  const auto revisit = load();
+  EXPECT_EQ(revisit.resources_total, 3u);
+  EXPECT_EQ(revisit.from_sw_cache, 1u);   // the unchanged image
+  EXPECT_GE(revisit.from_network, 1u);    // the changed stylesheet
+  EXPECT_EQ(revisit.fallback_revalidations, 0u);  // normal op, not fallback
+  // The SW cache now holds the fresh bytes, keyed by the new ETag.
+  EXPECT_NE(sw().cache().match("/a.css", http::make_content_etag(css_body_)),
+            nullptr);
+}
+
+TEST_F(CatalystDegradationFixture, CorruptedSwEntryFallsBackToConditionalGet) {
+  (void)load();
+  // Storage corruption: the stored body no longer matches its digest. The
+  // integrity check must catch it at match time — the entry is evicted
+  // and the fetch falls back to a conditional GET instead of serving the
+  // damaged bytes.
+  sw().cache().corrupt("/a.css");
+  const auto revisit = load();
+  EXPECT_EQ(revisit.resources_total, 3u);
+  EXPECT_EQ(sw().cache().stats().integrity_failures, 1u);
+  EXPECT_EQ(revisit.fallback_revalidations, 1u);
+  EXPECT_EQ(revisit.not_modified, 1u);    // origin confirms the HTTP copy
+  EXPECT_EQ(revisit.from_sw_cache, 1u);   // the intact image still serves
+  EXPECT_EQ(revisit.failed_loads, 0u);
+  EXPECT_FALSE(sw().cache().contains("/a.css"));
+}
+
 TEST(RobustnessTest, ZeroDelayRevisitWorks) {
   workload::SitegenParams params;
   params.seed = 34;

@@ -3,6 +3,7 @@
 //   fleetsim --users N [--threads T] [--seed S] [--strategy K]
 //            [--baseline K] [--sites N] [--shard-size N]
 //            [--horizon-days D] [--mean-gap-hours H] [--max-visits V]
+//            [--loss P] [--outage F] [--fault-seed S]
 //            [--json] [--live]
 //
 // Runs N independent user sessions (Zipf site popularity, Poisson revisit
@@ -80,7 +81,13 @@ void usage() {
       "usage: fleetsim --users N [--threads T] [--seed S] [--strategy K]\n"
       "                [--baseline K] [--sites N] [--shard-size N]\n"
       "                [--horizon-days D] [--mean-gap-hours H]\n"
-      "                [--max-visits V] [--json]\n");
+      "                [--max-visits V] [--loss P] [--outage F]\n"
+      "                [--fault-seed S] [--json]\n"
+      "\n"
+      "  --loss P       per-request fault probability: P mid-stream drops\n"
+      "                 plus P/4 silent stalls (default 0: no fault layer)\n"
+      "  --outage F     fraction of each hour origins are dark (default 0)\n"
+      "  --fault-seed S seed for the deterministic fault schedule (2024)\n");
 }
 
 }  // namespace
@@ -115,6 +122,15 @@ int main(int argc, char** argv) {
   params.user_model.mean_visit_gap =
       seconds_f(args.num("mean-gap-hours", 36) * 3600.0);
   params.user_model.max_visits = static_cast<int>(args.num("max-visits", 6));
+
+  // Fault injection (all default-off; leaving them zero keeps the report
+  // byte-identical to builds without the fault layer).
+  const double loss = args.num("loss", 0.0);
+  params.faults.loss_rate = loss;
+  params.faults.stall_rate = loss / 4.0;
+  params.faults.outage_fraction = args.num("outage", 0.0);
+  params.faults.fault_seed =
+      static_cast<std::uint64_t>(args.num("fault-seed", 2024));
 
   fleet::FleetRunner runner(params, users, threads);
   std::fprintf(stderr, "fleetsim: %llu users, %zu shards, %d thread(s), %s vs %s\n",
