@@ -18,7 +18,8 @@ LookupResult HttpCache::lookup(const std::string& url, TimePoint now) {
   const http::CacheControl cc = entry->response.cache_control();
   if (!cc.must_revalidate && !cc.no_cache &&
       is_fresh(*entry, now, allow_heuristic_)) {
-    ++stats_.fresh_hits;
+    ++stats_.hits;
+    stats_.bytes_served += entry->response.wire_size();
     return LookupResult{LookupDecision::FreshHit, entry};
   }
   // Stale (or always-revalidate): usable only after validation — but only

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <string>
 
+#include "cache/stats.h"
 #include "cache/storage.h"
 #include "util/types.h"
 
@@ -25,13 +26,11 @@ struct LookupResult {
   const CacheEntry* entry = nullptr;
 };
 
-struct HttpCacheStats {
+/// CacheStats core (hits = fresh hits) plus the RFC 9111 decisions only
+/// the browser cache makes.
+struct HttpCacheStats : CacheStats {
   std::uint64_t lookups = 0;
-  std::uint64_t fresh_hits = 0;
-  std::uint64_t revalidations = 0;
-  std::uint64_t misses = 0;
-  std::uint64_t stores = 0;
-  std::uint64_t rejected_no_store = 0;
+  std::uint64_t revalidations = 0;  // stale-but-validatable lookups
 };
 
 class HttpCache {
@@ -67,7 +66,12 @@ class HttpCache {
   void remove(const std::string& url) { store_.erase(url); }
   void clear() { store_.clear(); }
 
-  const HttpCacheStats& stats() const { return stats_; }
+  /// Snapshot with the storage engine's eviction count folded in.
+  HttpCacheStats stats() const {
+    HttpCacheStats s = stats_;
+    s.evictions = store_.evictions();
+    return s;
+  }
   std::size_t entry_count() const { return store_.entry_count(); }
   ByteCount size_bytes() const { return store_.size_bytes(); }
 

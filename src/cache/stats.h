@@ -1,0 +1,41 @@
+// Shared cache telemetry core.
+//
+// Every cache in the stack — the browser HTTP cache, the Service Worker
+// cache, and the shared edge PoPs — answers the same four questions: how
+// often it hit, how often it missed, what it stored, and what it threw
+// away. CacheStats is that common core; each cache extends it with its
+// own decision-specific counters instead of keeping an ad-hoc set.
+#pragma once
+
+#include <cstdint>
+
+#include "util/types.h"
+
+namespace catalyst::cache {
+
+struct CacheStats {
+  std::uint64_t hits = 0;       // served from stored bytes
+  std::uint64_t misses = 0;     // nothing usable stored
+  std::uint64_t stores = 0;     // entries written
+  std::uint64_t evictions = 0;  // entries removed to make room
+  /// Stored responses that policy refused to cache (no-store, and for
+  /// shared caches also private).
+  std::uint64_t rejected_no_store = 0;
+  /// Wire bytes answered from stored entries (full-body serves).
+  ByteCount bytes_served = 0;
+
+  void merge(const CacheStats& other) {
+    hits += other.hits;
+    misses += other.misses;
+    stores += other.stores;
+    evictions += other.evictions;
+    rejected_no_store += other.rejected_no_store;
+    bytes_served += other.bytes_served;
+  }
+
+  std::uint64_t lookups_resolved() const { return hits + misses; }
+
+  bool operator==(const CacheStats&) const = default;
+};
+
+}  // namespace catalyst::cache

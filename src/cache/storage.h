@@ -3,6 +3,7 @@
 #pragma once
 
 #include <list>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -31,6 +32,14 @@ class LruStore {
 
   bool erase(const std::string& key);
   void clear();
+
+  /// Key of the least-recently-used entry (the next internal-eviction
+  /// victim), or nullopt when empty. Lets layered stores (segmented LRU,
+  /// admission filters) pick victims without paying keys_mru_order().
+  std::optional<std::string> lru_key() const {
+    if (lru_.empty()) return std::nullopt;
+    return lru_.back().key;
+  }
 
   std::size_t entry_count() const { return index_.size(); }
   ByteCount size_bytes() const { return size_bytes_; }

@@ -37,6 +37,7 @@ const http::Response* SwCache::match(const std::string& url,
   const auto stored = entry->etag();
   if (stored && stored->weak_equals(expected_etag)) {
     ++stats_.hits;
+    stats_.bytes_served += entry->response.wire_size();
     return &entry->response;
   }
   ++stats_.etag_mismatches;

@@ -9,17 +9,15 @@
 #include <optional>
 #include <string>
 
+#include "cache/stats.h"
 #include "cache/storage.h"
 #include "http/etag.h"
 
 namespace catalyst::cache {
 
-struct SwCacheStats {
-  std::uint64_t stores = 0;
-  std::uint64_t hits = 0;
+/// CacheStats core plus the map-comparison outcomes only the SW cache has.
+struct SwCacheStats : CacheStats {
   std::uint64_t etag_mismatches = 0;
-  std::uint64_t misses = 0;
-  std::uint64_t rejected_no_store = 0;
   /// Entries whose body no longer matched the digest taken at store time;
   /// they are evicted rather than served.
   std::uint64_t integrity_failures = 0;
@@ -55,7 +53,12 @@ class SwCache {
   void remove(const std::string& url) { store_.erase(url); }
   void clear() { store_.clear(); }
 
-  const SwCacheStats& stats() const { return stats_; }
+  /// Snapshot with the storage engine's eviction count folded in.
+  SwCacheStats stats() const {
+    SwCacheStats s = stats_;
+    s.evictions = store_.evictions();
+    return s;
+  }
   std::size_t entry_count() const { return store_.entry_count(); }
   ByteCount size_bytes() const { return store_.size_bytes(); }
 

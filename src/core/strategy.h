@@ -8,6 +8,10 @@
 #include "netsim/transport.h"
 #include "util/types.h"
 
+namespace catalyst::edge {
+class EdgePop;
+}  // namespace catalyst::edge
+
 namespace catalyst::core {
 
 enum class StrategyKind {
@@ -74,6 +78,17 @@ struct StrategyOptions {
   /// Third-party origins sit this factor closer than the main origin
   /// (multi-origin testbeds only).
   double third_party_rtt_scale = 0.6;
+
+  /// Shared edge PoP fronting the main origin (non-owning; nullptr — the
+  /// default — means no edge tier and the topology is untouched). The PoP
+  /// outlives the testbed: fleet replay binds the same PoP into every
+  /// testbed of the users mapped to it. Ignored for RdrProxy, whose proxy
+  /// already terminates the page near the origin.
+  edge::EdgePop* edge_pop = nullptr;
+
+  /// RTT between an edge PoP and the origin (PoPs sit in well-peered
+  /// exchanges, but further out than the RDR cloud proxy).
+  Duration edge_origin_rtt = milliseconds(30);
 };
 
 }  // namespace catalyst::core

@@ -1,5 +1,7 @@
 #include "core/testbed.h"
 
+#include <algorithm>
+
 namespace catalyst::core {
 
 Testbed make_testbed(std::shared_ptr<server::Site> site,
@@ -85,14 +87,23 @@ Testbed make_testbed(std::shared_ptr<server::Site> site,
   bc.fetcher.resilience.enabled = conditions.faults.any();
   tb.browser = std::make_unique<client::Browser>(*tb.network, bc);
 
+  // With an edge tier, main-origin traffic is addressed to the PoP's
+  // host; remember it so audits can map those URLs back to the site.
+  const std::string edge_host =
+      (options.edge_pop != nullptr && kind != StrategyKind::RdrProxy)
+          ? options.edge_pop->host_name()
+          : std::string();
+
   // Measurement-only staleness audit: flags cache-served bytes that no
   // longer match the origin. Never changes behaviour.
   {
     auto site_ref = tb.site;
     netsim::EventLoop* loop = tb.loop.get();
     tb.browser->set_staleness_audit(
-        [site_ref, loop](const Url& url, const http::Etag& etag) {
-          if (url.host != site_ref->host()) return true;  // unauditable
+        [site_ref, loop, edge_host](const Url& url, const http::Etag& etag) {
+          if (url.host != site_ref->host() && url.host != edge_host) {
+            return true;  // unauditable
+          }
           const server::Resource* r = site_ref->find(url.path);
           return r == nullptr ||
                  r->etag_at(loop->now()).weak_equals(etag);
@@ -128,6 +139,26 @@ Testbed make_testbed(std::shared_ptr<server::Site> site,
     tb.fetch_url.path = tb.site->index_path();
   }
 
+  if (!edge_host.empty()) {
+    edge::EdgePop& pop = *options.edge_pop;
+    tb.network->add_host(pop.host_name());  // well-provisioned (1 Gbps)
+    // The PoP sits on the path: the client-edge leg is what remains of the
+    // access RTT after the edge-origin leg, floored at a quarter of the
+    // full RTT (even a nearby PoP is not free to reach). A hit saves the
+    // origin leg; a miss pays roughly the no-edge path.
+    const Duration client_edge_rtt = std::max(
+        conditions.rtt - options.edge_origin_rtt, conditions.rtt / 4);
+    tb.network->set_rtt("client", pop.host_name(), client_edge_rtt);
+    tb.network->set_rtt(pop.host_name(), tb.site->host(),
+                        options.edge_origin_rtt);
+    tb.edge_node =
+        std::make_unique<edge::EdgeNode>(pop, *tb.network, tb.site->host());
+    // Main-origin traffic terminates at the PoP; relative subresource
+    // references resolve against the page URL, so they follow it there.
+    tb.fetch_url.host = pop.host_name();
+    tb.page_url.host = pop.host_name();
+  }
+
   return tb;
 }
 
@@ -157,6 +188,9 @@ Testbed make_testbed(const workload::SiteBundle& bundle,
   {
     std::map<std::string, std::shared_ptr<server::Site>> by_host;
     by_host[bundle.main->host()] = bundle.main;
+    if (tb.edge_node) {
+      by_host[options.edge_pop->host_name()] = bundle.main;
+    }
     for (const auto& tp : bundle.third_party) by_host[tp->host()] = tp;
     netsim::EventLoop* loop = tb.loop.get();
     tb.browser->set_staleness_audit(

@@ -7,6 +7,7 @@
 #include "client/browser.h"
 #include "core/rdr_proxy.h"
 #include "core/strategy.h"
+#include "edge/node.h"
 #include "netsim/conditions.h"
 #include "netsim/event_loop.h"
 #include "netsim/network.h"
@@ -24,6 +25,9 @@ struct Testbed {
   std::shared_ptr<server::Site> site;
   std::unique_ptr<server::Server> origin;
   std::unique_ptr<RdrProxy> proxy;  // RdrProxy strategy only
+  // Binding of the shared edge PoP onto this testbed's network (only when
+  // options.edge_pop is set; the PoP itself is owned by the caller).
+  std::unique_ptr<edge::EdgeNode> edge_node;
   // Third-party origins (multi-origin bundles only).
   std::vector<std::shared_ptr<server::Site>> third_party_sites;
   std::vector<std::unique_ptr<server::Server>> third_party_servers;

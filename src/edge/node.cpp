@@ -1,0 +1,232 @@
+#include "edge/node.h"
+
+#include <utility>
+
+#include "http/conditional.h"
+#include "http/date.h"
+#include "util/strings.h"
+
+namespace catalyst::edge {
+
+namespace {
+
+/// Cache keys follow static-handler semantics: the query string does not
+/// select a different representation.
+std::string path_of(const std::string& target) {
+  const auto q = target.find('?');
+  return q == std::string::npos ? target : target.substr(0, q);
+}
+
+/// Headers a cache-served response (hit or 304) carries downstream:
+/// validators, freshness metadata, and the Catalyst validity map.
+bool forwarded_on_304(std::string_view name) {
+  return iequals(name, http::kEtagHeader) ||
+         iequals(name, http::kCacheControl) ||
+         iequals(name, http::kExpires) ||
+         iequals(name, http::kDate) ||
+         iequals(name, http::kLastModified) ||
+         iequals(name, http::kXEtagConfig);
+}
+
+}  // namespace
+
+EdgeNode::EdgeNode(EdgePop& pop, netsim::Network& network,
+                   std::string origin_host)
+    : pop_(pop), network_(network), origin_host_(std::move(origin_host)) {
+  network_.host(pop_.host_name())
+      .set_handler([this](const http::Request& request,
+                          std::function<void(netsim::ServerReply)> respond) {
+        handle(request, std::move(respond));
+      });
+}
+
+void EdgeNode::handle(const http::Request& request,
+                      std::function<void(netsim::ServerReply)> respond) {
+  const TimePoint now = network_.loop().now();
+  const std::string key = origin_host_ + path_of(request.target);
+  pop_.note_request(key);
+
+  const EdgeLookupResult found = pop_.lookup(key, now);
+  if (found.decision == EdgeLookupDecision::Fresh) {
+    reply_to_waiter(Waiter{request, std::move(respond)},
+                    found.entry->response, Served::Hit);
+    return;
+  }
+
+  // Miss or stale: both need the origin. Coalesce with any fill already in
+  // flight for this key — that fetch's answer serves everyone.
+  if (const auto it = inflight_.find(key); it != inflight_.end()) {
+    pop_.note_coalesced();
+    it->second.waiters.push_back(Waiter{request, std::move(respond)});
+    return;
+  }
+
+  Fill fill;
+  fill.request_time = now;
+  fill.waiters.push_back(Waiter{request, std::move(respond)});
+
+  // The upstream request is built fresh: client conditionals must not leak
+  // upstream (a 304 against the *client's* validator would leave the edge
+  // with nothing to serve other waiters). On the stale path the edge sends
+  // its own stored validators instead.
+  http::Request upstream = http::Request::get(request.target, origin_host_);
+  if (found.decision == EdgeLookupDecision::Stale) {
+    const cache::CacheEntry& entry = *found.entry;
+    if (const auto etag = entry.etag()) {
+      upstream.headers.set(http::kIfNoneMatch, etag->to_string());
+    } else if (const auto lm =
+                   entry.response.headers.get(http::kLastModified)) {
+      upstream.headers.set(http::kIfModifiedSince, *lm);
+    }
+  }
+
+  inflight_.emplace(key, std::move(fill));
+  launch_fetch(key, std::move(upstream));
+}
+
+void EdgeNode::launch_fetch(const std::string& key, http::Request upstream) {
+  pop_.note_origin_fetch();
+  origin_connection().send_request(
+      std::move(upstream),
+      [this, key](http::Response response) {
+        on_origin_response(key, std::move(response));
+      },
+      /*on_push=*/nullptr,  // pushes die at the edge (see header comment)
+      /*on_promise=*/nullptr, /*on_hints=*/nullptr,
+      [this, key]() { on_origin_error(key); });
+}
+
+void EdgeNode::on_origin_response(const std::string& key,
+                                  http::Response response) {
+  const TimePoint now = network_.loop().now();
+  pop_.note_origin_response(response.wire_size());
+  const auto it = inflight_.find(key);
+  if (it == inflight_.end()) return;
+
+  if (response.status == http::Status::NotModified) {
+    pop_.note_origin_not_modified();
+    if (cache::CacheEntry* entry = pop_.refresh_not_modified(
+            key, response, it->second.request_time, now)) {
+      Fill fill = std::move(it->second);
+      inflight_.erase(it);
+      for (const Waiter& w : fill.waiters) {
+        reply_to_waiter(w, entry->response, Served::Revalidated);
+      }
+      return;
+    }
+    // The entry was evicted while its conditional was in flight: the 304
+    // refers to bytes the edge no longer holds. Refetch in full, keeping
+    // the waiter list.
+    if (!it->second.retried) {
+      it->second.retried = true;
+      it->second.request_time = now;
+      launch_fetch(key,
+                   http::Request::get(
+                       it->second.waiters.front().request.target,
+                       origin_host_));
+      return;
+    }
+    // An unconditional fetch answered 304 — upstream is misbehaving.
+    on_origin_error(key);
+    return;
+  }
+
+  Fill fill = std::move(it->second);
+  inflight_.erase(it);
+  // admit_and_store applies shared-cache policy (no-store/private/
+  // uncacheable status) and TinyLFU admission; waiters are served from the
+  // origin bytes either way.
+  pop_.admit_and_store(key, response, fill.request_time, now);
+  for (const Waiter& w : fill.waiters) {
+    reply_to_waiter(w, response, Served::Miss);
+  }
+}
+
+void EdgeNode::on_origin_error(const std::string& key) {
+  const auto it = inflight_.find(key);
+  if (it == inflight_.end()) return;
+  Fill fill = std::move(it->second);
+  inflight_.erase(it);
+  pop_.note_origin_error();
+  for (const Waiter& w : fill.waiters) {
+    pop_.note_miss();
+    http::Response resp = http::Response::make(http::Status::BadGateway);
+    resp.body = "edge: origin unreachable";
+    resp.finalize(network_.loop().now());
+    netsim::ServerReply reply;
+    reply.response = std::move(resp);
+    network_.loop().schedule_after(
+        pop_.config().processing_delay,
+        [respond = w.respond, reply = std::move(reply)]() mutable {
+          respond(std::move(reply));
+        });
+  }
+}
+
+void EdgeNode::reply_to_waiter(const Waiter& waiter,
+                               const http::Response& source, Served served) {
+  // Per-waiter conditional: a client revalidating a representation the
+  // edge holds gets its 304 here, never touching the origin.
+  const std::optional<http::Etag> etag = source.etag();
+  std::optional<TimePoint> last_modified;
+  if (const auto lm = source.headers.get(http::kLastModified)) {
+    last_modified = http::parse_http_date(*lm);
+  }
+  http::ConditionalOutcome outcome = http::ConditionalOutcome::NotConditional;
+  if (etag) {
+    outcome = http::evaluate_conditional(waiter.request, *etag,
+                                         last_modified);
+  }
+
+  http::Response reply;
+  if (outcome == http::ConditionalOutcome::NotModified) {
+    reply = http::Response::make(http::Status::NotModified);
+    // Forward the stored Date rather than stamping a new one: downstream
+    // caches compute apparent age from it, which is how resident time at
+    // the edge stays visible without an Age header.
+    for (const auto& field : source.headers.fields()) {
+      if (forwarded_on_304(field.name)) {
+        reply.headers.set(field.name, field.value);
+      }
+    }
+  } else {
+    reply = source;
+  }
+
+  switch (served) {
+    case Served::Hit:
+      pop_.note_hit(reply.wire_size());
+      break;
+    case Served::Revalidated:
+      pop_.note_revalidated_hit(reply.wire_size());
+      break;
+    case Served::Miss:
+      pop_.note_miss();
+      break;
+  }
+
+  netsim::ServerReply server_reply;
+  server_reply.response = std::move(reply);
+  network_.loop().schedule_after(
+      pop_.config().processing_delay,
+      [respond = waiter.respond,
+       server_reply = std::move(server_reply)]() mutable {
+        respond(std::move(server_reply));
+      });
+}
+
+netsim::Connection& EdgeNode::origin_connection() {
+  if (origin_conn_ && origin_conn_->broken()) {
+    // Keep broken connections alive until the loop drains: their scheduled
+    // callbacks still capture the object.
+    graveyard_.push_back(std::move(origin_conn_));
+  }
+  if (!origin_conn_) {
+    origin_conn_ = std::make_unique<netsim::Connection>(
+        network_, pop_.host_name(), origin_host_, /*tls=*/true,
+        netsim::Protocol::H2);
+  }
+  return *origin_conn_;
+}
+
+}  // namespace catalyst::edge

@@ -1,0 +1,93 @@
+// Per-testbed network binding of an EdgePop.
+//
+// Fleet replay builds a fresh Testbed (own event loop + network) per user,
+// while PoP cache state must persist across every user behind the PoP. The
+// split: EdgePop (pop.h) is the long-lived shared state; EdgeNode is the
+// throwaway adapter that registers the PoP's host on one testbed network,
+// terminates client requests there, and speaks HTTP/2 to the origin.
+//
+// The node implements the CDN data path:
+//   - request coalescing: concurrent misses for one resource collapse to a
+//     single origin fetch, every waiter is answered from the one fill;
+//   - origin revalidation: stale-but-validatable entries cost a conditional
+//     GET; an origin 304 refreshes stored metadata (including the Catalyst
+//     X-Etag-Config map) and the stored bytes are served;
+//   - per-waiter conditionals: a client revalidation that matches the
+//     edge's entry gets a 304 straight from the edge.
+//
+// Origin pushes are deliberately dropped at the edge: intermediaries
+// forwarding h2 server push is effectively nonexistent in deployed CDNs,
+// which is part of why the paper's pull-based design matters.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "edge/pop.h"
+#include "netsim/network.h"
+#include "netsim/transport.h"
+
+namespace catalyst::edge {
+
+class EdgeNode {
+ public:
+  /// Registers `pop.host_name()`'s request handler on `network`. The host
+  /// must already exist, with RTTs configured to both client and origin.
+  /// `origin_host` is the upstream this node fronts (one per testbed —
+  /// the cache key carries it, so sites sharing a PoP never collide).
+  EdgeNode(EdgePop& pop, netsim::Network& network, std::string origin_host);
+
+  EdgeNode(const EdgeNode&) = delete;
+  EdgeNode& operator=(const EdgeNode&) = delete;
+
+  const std::string& origin_host() const { return origin_host_; }
+
+ private:
+  /// How a resolved request was answered — drives EdgePop accounting.
+  /// hit = stored bytes, no upstream exchange; revalidated = stored bytes
+  /// after an upstream 304; miss = bytes fetched from origin this time.
+  enum class Served { Hit, Revalidated, Miss };
+
+  struct Waiter {
+    http::Request request;
+    std::function<void(netsim::ServerReply)> respond;
+  };
+
+  /// One in-flight origin fetch; later requests for the same key join the
+  /// waiter list instead of fetching again.
+  struct Fill {
+    std::vector<Waiter> waiters;
+    TimePoint request_time{};
+    bool retried = false;  // 304-for-evicted-entry refetch guard
+  };
+
+  void handle(const http::Request& request,
+              std::function<void(netsim::ServerReply)> respond);
+  void launch_fetch(const std::string& key, http::Request upstream);
+  void on_origin_response(const std::string& key, http::Response response);
+  void on_origin_error(const std::string& key);
+
+  /// Answers one waiter from an authoritative response (stored entry or
+  /// fresh origin fill): evaluates the waiter's own conditionals, then
+  /// schedules the reply after the configured processing delay.
+  void reply_to_waiter(const Waiter& waiter, const http::Response& source,
+                       Served served);
+
+  /// Lazily (re)built H2 connection to the origin. Broken connections move
+  /// to the graveyard: their scheduled callbacks may still fire, so they
+  /// must outlive the loop.
+  netsim::Connection& origin_connection();
+
+  EdgePop& pop_;
+  netsim::Network& network_;
+  std::string origin_host_;
+  std::map<std::string, Fill> inflight_;
+  std::unique_ptr<netsim::Connection> origin_conn_;
+  std::vector<std::unique_ptr<netsim::Connection>> graveyard_;
+};
+
+}  // namespace catalyst::edge

@@ -1,0 +1,129 @@
+#include "edge/pop.h"
+
+#include <utility>
+
+#include "cache/freshness.h"
+#include "http/headers.h"
+#include "util/strings.h"
+
+namespace catalyst::edge {
+
+namespace {
+
+/// Sizes the TinyLFU history from the byte budget: assume a typical web
+/// object of ~16 KiB, the order of this simulator's generated assets.
+std::size_t expected_entries_for(ByteCount capacity) {
+  return static_cast<std::size_t>(capacity / KiB(16)) + 16;
+}
+
+}  // namespace
+
+EdgePop::EdgePop(EdgeConfig config)
+    : config_(config),
+      host_name_("edge.pop" + std::to_string(config.pop_id)),
+      store_(config.capacity, config.protected_fraction),
+      admission_(expected_entries_for(config.capacity)) {}
+
+EdgeLookupResult EdgePop::lookup(const std::string& key, TimePoint now) {
+  cache::CacheEntry* entry = store_.get(key);
+  if (entry == nullptr) return EdgeLookupResult{EdgeLookupDecision::Miss};
+  const http::CacheControl cc = entry->response.cache_control();
+  // Time-travel guard: the fleet replays users sequentially, so shared
+  // state can have been filled at a simulated time later than this user's
+  // clock. Serving it fresh would leak the future; demote to stale so it
+  // revalidates like any expired entry.
+  const bool from_future = entry->response_time > now;
+  if (!from_future && !cc.must_revalidate && !cc.no_cache &&
+      cache::is_fresh(*entry, now, config_.allow_heuristic)) {
+    return EdgeLookupResult{EdgeLookupDecision::Fresh, entry};
+  }
+  if (entry->etag() ||
+      entry->response.headers.contains(http::kLastModified)) {
+    return EdgeLookupResult{EdgeLookupDecision::Stale, entry};
+  }
+  return EdgeLookupResult{EdgeLookupDecision::Miss};
+}
+
+bool EdgePop::admit_and_store(const std::string& key, http::Response response,
+                              TimePoint request_time,
+                              TimePoint response_time) {
+  const http::CacheControl cc = response.cache_control();
+  // Shared-cache storage rules (RFC 9111 §3): private responses are for
+  // the user's cache only, no-store is for nobody's.
+  if (cc.no_store || cc.is_private) {
+    ++stats_.rejected_no_store;
+    return false;
+  }
+  if (!http::is_cacheable_status(response.status)) return false;
+  if (!cc.max_age && !cc.no_cache &&
+      !response.headers.contains(http::kExpires) &&
+      !response.headers.contains(http::kEtagHeader) &&
+      !response.headers.contains(http::kLastModified)) {
+    return false;
+  }
+
+  cache::CacheEntry entry;
+  entry.response = std::move(response);
+  entry.request_time = request_time;
+  entry.response_time = response_time;
+  const ByteCount cost = entry.cost();
+  if (cost > store_.capacity()) return false;
+
+  // Make room, letting TinyLFU veto the fill: a candidate may only
+  // displace victims it has out-requested.
+  while (store_.needs_room(cost)) {
+    const auto victim = store_.victim_key();
+    if (!victim) break;
+    if (config_.tinylfu_admission && !admission_.admit(key, *victim)) {
+      ++stats_.admission_rejects;
+      return false;
+    }
+    store_.evict_victim();
+  }
+  if (store_.put(key, std::move(entry))) {
+    ++stats_.stores;
+    return true;
+  }
+  return false;
+}
+
+cache::CacheEntry* EdgePop::refresh_not_modified(
+    const std::string& key, const http::Response& not_modified,
+    TimePoint request_time, TimePoint response_time) {
+  cache::CacheEntry* entry = store_.get(key);
+  if (entry == nullptr) return nullptr;
+  // RFC 9111 §4.3.4 metadata refresh, plus X-Etag-Config: Catalyst origins
+  // send the current subresource validity map on 304s, and forwarding the
+  // *stored* (possibly outdated) map would make downstream service workers
+  // trust subresources the origin has since changed.
+  for (const auto& field : not_modified.headers.fields()) {
+    if (iequals(field.name, http::kEtagHeader) ||
+        iequals(field.name, http::kCacheControl) ||
+        iequals(field.name, http::kExpires) ||
+        iequals(field.name, http::kDate) ||
+        iequals(field.name, http::kLastModified) ||
+        iequals(field.name, http::kXEtagConfig)) {
+      entry->response.headers.set(field.name, field.value);
+    }
+  }
+  entry->request_time = request_time;
+  entry->response_time = response_time;
+  return entry;
+}
+
+void EdgePop::note_request(const std::string& key) {
+  ++stats_.requests;
+  admission_.record(key);
+}
+
+void EdgePop::note_hit(ByteCount bytes_served) {
+  ++stats_.hits;
+  stats_.bytes_served += bytes_served;
+}
+
+void EdgePop::note_revalidated_hit(ByteCount bytes_served) {
+  ++stats_.revalidated_hits;
+  stats_.bytes_served += bytes_served;
+}
+
+}  // namespace catalyst::edge

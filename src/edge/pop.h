@@ -1,0 +1,157 @@
+// One edge point of presence: the shared, capacity-bounded cache state a
+// whole population of users behind the same PoP sees.
+//
+// An EdgePop is pure state + policy — SLRU storage, TinyLFU admission,
+// RFC 9111 shared-cache semantics (no-store and private are refused,
+// stale entries revalidate upstream), and Catalyst-awareness: base HTML
+// is cached together with its X-Etag-Config map, and an origin 304
+// refreshes the stored map so revisits can be answered entirely from the
+// edge. It holds no network references, so it outlives the per-user
+// testbeds that attach to it (see EdgeNode) and accumulates cache state
+// across every user mapped to the PoP.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "cache/entry.h"
+#include "cache/stats.h"
+#include "edge/slru.h"
+#include "edge/tinylfu.h"
+#include "util/types.h"
+
+namespace catalyst::edge {
+
+struct EdgeConfig {
+  int pop_id = 0;
+
+  /// Shared-store byte budget of this PoP.
+  ByteCount capacity = MiB(64);
+
+  /// TinyLFU admission (off = plain SLRU fills, the ablation arm).
+  bool tinylfu_admission = true;
+
+  /// Protected-segment share of the SLRU store.
+  double protected_fraction = 0.8;
+
+  /// Modeled per-request edge compute (lookup + response assembly).
+  Duration processing_delay = microseconds(300);
+
+  /// Heuristic freshness for responses without explicit lifetimes
+  /// (RFC 9111 §4.2.2 applies to shared caches too).
+  bool allow_heuristic = true;
+};
+
+/// Fleet-level description of an edge tier: how many PoPs front the
+/// origins and how each is provisioned. pops == 0 (the default) means no
+/// edge tier anywhere — topologies, replays and reports are untouched.
+struct EdgeTierParams {
+  int pops = 0;
+  ByteCount capacity = MiB(64);
+  Duration origin_rtt = milliseconds(30);
+  bool admission = true;  // TinyLFU on/off (ablation)
+
+  bool enabled() const { return pops > 0; }
+};
+
+/// CacheStats core plus the decisions only a shared intermediary makes.
+/// Every request resolves as exactly one of hits / revalidated_hits /
+/// misses, so requests always equals their sum.
+struct EdgePopStats : cache::CacheStats {
+  std::uint64_t requests = 0;           // client requests handled
+  std::uint64_t revalidated_hits = 0;   // served after an origin 304
+  std::uint64_t coalesced = 0;          // requests that joined an in-flight fill
+  std::uint64_t origin_fetches = 0;     // upstream fetches launched
+  std::uint64_t origin_not_modified = 0;
+  std::uint64_t origin_errors = 0;      // upstream exchanges that failed
+  std::uint64_t admission_rejects = 0;  // TinyLFU refused a fill
+  ByteCount bytes_from_origin = 0;      // upstream response bytes
+
+  /// Fraction of requests answered without fetching a body upstream —
+  /// the origin-offload headline number.
+  double origin_offload_pct() const {
+    return requests == 0
+               ? 0.0
+               : 100.0 * static_cast<double>(requests - origin_fetches) /
+                     static_cast<double>(requests);
+  }
+};
+
+enum class EdgeLookupDecision {
+  Miss,   // nothing stored / nothing validatable
+  Fresh,  // serve stored bytes, zero origin cost
+  Stale,  // stored + validator: conditional GET upstream
+};
+
+struct EdgeLookupResult {
+  EdgeLookupDecision decision = EdgeLookupDecision::Miss;
+  /// Stored entry for Fresh/Stale; owned by the pop, invalidated by any
+  /// subsequent mutation.
+  cache::CacheEntry* entry = nullptr;
+};
+
+class EdgePop {
+ public:
+  explicit EdgePop(EdgeConfig config);
+
+  /// Host name this PoP registers on simulated networks: "edge.pop<id>".
+  const std::string& host_name() const { return host_name_; }
+  int pop_id() const { return config_.pop_id; }
+  const EdgeConfig& config() const { return config_; }
+
+  /// Classifies a stored entry for `key` at `now`. Entries stored "in the
+  /// future" (user-major fleet replay runs users sequentially, so shared
+  /// state can be ahead of the next user's clock) are treated as stale so
+  /// they revalidate instead of serving content from the future.
+  EdgeLookupResult lookup(const std::string& key, TimePoint now);
+
+  /// Stores an origin 200 if shared-cache policy and TinyLFU admission
+  /// allow. Returns true when stored.
+  bool admit_and_store(const std::string& key, http::Response response,
+                       TimePoint request_time, TimePoint response_time);
+
+  /// Applies an origin 304: refreshes validators, freshness headers, and
+  /// — the Catalyst-aware part — the X-Etag-Config map, so edge-served
+  /// revisits carry the origin's current subresource validity map.
+  /// Returns the refreshed entry, or nullptr if nothing is stored.
+  cache::CacheEntry* refresh_not_modified(const std::string& key,
+                                          const http::Response& not_modified,
+                                          TimePoint request_time,
+                                          TimePoint response_time);
+
+  // Telemetry notes — EdgeNode calls these at the semantically right
+  // moments so `requests == hits + revalidated_hits + misses` holds.
+  void note_request(const std::string& key);
+  void note_hit(ByteCount bytes_served);
+  void note_revalidated_hit(ByteCount bytes_served);
+  void note_miss() { ++stats_.misses; }
+  void note_coalesced() { ++stats_.coalesced; }
+  void note_origin_fetch() { ++stats_.origin_fetches; }
+  void note_origin_response(ByteCount bytes) {
+    stats_.bytes_from_origin += bytes;
+  }
+  void note_origin_not_modified() { ++stats_.origin_not_modified; }
+  void note_origin_error() { ++stats_.origin_errors; }
+
+  /// Snapshot with the store's eviction count folded in.
+  EdgePopStats stats() const {
+    EdgePopStats s = stats_;
+    s.evictions = store_.evictions();
+    return s;
+  }
+
+  SlruStore& store() { return store_; }
+  const TinyLfuAdmission& admission() const { return admission_; }
+  ByteCount size_bytes() const { return store_.size_bytes(); }
+  std::size_t entry_count() const { return store_.entry_count(); }
+
+ private:
+  EdgeConfig config_;
+  std::string host_name_;
+  SlruStore store_;
+  TinyLfuAdmission admission_;
+  EdgePopStats stats_;
+};
+
+}  // namespace catalyst::edge

@@ -31,12 +31,31 @@ std::string stat_row(const Summary& s) {
 
 }  // namespace
 
+void EdgePopReport::merge(const EdgePopReport& other) {
+  requests += other.requests;
+  hits += other.hits;
+  revalidated_hits += other.revalidated_hits;
+  misses += other.misses;
+  coalesced += other.coalesced;
+  origin_fetches += other.origin_fetches;
+  origin_not_modified += other.origin_not_modified;
+  origin_errors += other.origin_errors;
+  admission_rejects += other.admission_rejects;
+  stores += other.stores;
+  evictions += other.evictions;
+  bytes_served += other.bytes_served;
+  bytes_from_origin += other.bytes_from_origin;
+}
+
 void FleetReport::merge(const FleetReport& other) {
   users += other.users;
   visits += other.visits;
   revisits += other.revisits;
   counters.merge(other.counters);
   faults.merge(other.faults);
+  for (const auto& [pop, stats] : other.edge_pops) {
+    edge_pops[pop].merge(stats);
+  }
   bytes_on_wire += other.bytes_on_wire;
   baseline_bytes_on_wire += other.baseline_bytes_on_wire;
   rtts += other.rtts;
@@ -75,6 +94,55 @@ Json FleetReport::to_json() const {
     f.set("failed_loads",
           Json::number(static_cast<double>(faults.failed_loads)));
     j.set("faults", std::move(f));
+  }
+
+  // Only present on edge-enabled runs: edge-off reports must serialize to
+  // the exact bytes they produced before the edge tier existed.
+  if (!edge_pops.empty()) {
+    EdgePopReport total;
+    Json per_pop = Json::array();
+    for (const auto& [pop, s] : edge_pops) {  // std::map: ascending pop id
+      total.merge(s);
+      Json p = Json::object();
+      p.set("pop", Json::number(static_cast<double>(pop)));
+      p.set("requests", Json::number(static_cast<double>(s.requests)));
+      p.set("hits", Json::number(static_cast<double>(s.hits)));
+      p.set("origin_fetches",
+            Json::number(static_cast<double>(s.origin_fetches)));
+      p.set("evictions", Json::number(static_cast<double>(s.evictions)));
+      per_pop.push_back(std::move(p));
+    }
+    Json e = Json::object();
+    e.set("pops", Json::number(static_cast<double>(edge_pops.size())));
+    e.set("requests", Json::number(static_cast<double>(total.requests)));
+    e.set("hits", Json::number(static_cast<double>(total.hits)));
+    e.set("revalidated_hits",
+          Json::number(static_cast<double>(total.revalidated_hits)));
+    e.set("misses", Json::number(static_cast<double>(total.misses)));
+    e.set("coalesced", Json::number(static_cast<double>(total.coalesced)));
+    e.set("origin_fetches",
+          Json::number(static_cast<double>(total.origin_fetches)));
+    e.set("origin_not_modified",
+          Json::number(static_cast<double>(total.origin_not_modified)));
+    e.set("origin_errors",
+          Json::number(static_cast<double>(total.origin_errors)));
+    e.set("admission_rejects",
+          Json::number(static_cast<double>(total.admission_rejects)));
+    e.set("stores", Json::number(static_cast<double>(total.stores)));
+    e.set("evictions", Json::number(static_cast<double>(total.evictions)));
+    e.set("bytes_served",
+          Json::number(static_cast<double>(total.bytes_served)));
+    e.set("bytes_from_origin",
+          Json::number(static_cast<double>(total.bytes_from_origin)));
+    const double offload =
+        total.requests == 0
+            ? 0.0
+            : 100.0 *
+                  static_cast<double>(total.requests - total.origin_fetches) /
+                  static_cast<double>(total.requests);
+    e.set("origin_offload_pct", Json::number(offload));
+    e.set("per_pop", std::move(per_pop));
+    j.set("edge", std::move(e));
   }
 
   j.set("bytes_on_wire", Json::number(static_cast<double>(bytes_on_wire)));
@@ -128,6 +196,29 @@ std::string FleetReport::render_table(const std::string& title) const {
     table.add_row({"fallback revalidations",
                    std::to_string(faults.fallback_revalidations)});
     table.add_row({"failed loads (5xx)", std::to_string(faults.failed_loads)});
+  }
+  if (!edge_pops.empty()) {
+    EdgePopReport total;
+    for (const auto& [pop, s] : edge_pops) total.merge(s);
+    table.add_separator();
+    table.add_row({"edge pops", std::to_string(edge_pops.size())});
+    table.add_row({"edge requests", std::to_string(total.requests)});
+    auto epct = [&total](std::uint64_t n) {
+      return total.requests == 0
+                 ? std::string("0%")
+                 : str_format("%.1f%%", 100.0 * static_cast<double>(n) /
+                                            static_cast<double>(
+                                                total.requests));
+    };
+    table.add_row({"  edge hits", epct(total.hits)});
+    table.add_row({"  edge revalidated", epct(total.revalidated_hits)});
+    table.add_row({"  edge misses", epct(total.misses)});
+    table.add_row({"  coalesced fetches", std::to_string(total.coalesced)});
+    table.add_row({"origin offload",
+                   epct(total.requests - total.origin_fetches)});
+    table.add_row({"edge evictions", std::to_string(total.evictions)});
+    table.add_row(
+        {"edge admission rejects", std::to_string(total.admission_rejects)});
   }
   table.add_separator();
   table.add_row({"bytes on wire", format_bytes(bytes_on_wire)});

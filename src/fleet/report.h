@@ -8,6 +8,7 @@
 // determinism tests and the `fleetsim --json` output compare.
 #pragma once
 
+#include <map>
 #include <string>
 
 #include "util/json.h"
@@ -15,6 +16,27 @@
 #include "util/types.h"
 
 namespace catalyst::fleet {
+
+/// Telemetry of one edge PoP's shared cache over the whole run (treatment
+/// arm only). Plain sums so the report layer stays independent of the
+/// edge module; invariant: requests == hits + revalidated_hits + misses.
+struct EdgePopReport {
+  std::uint64_t requests = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t revalidated_hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t coalesced = 0;
+  std::uint64_t origin_fetches = 0;
+  std::uint64_t origin_not_modified = 0;
+  std::uint64_t origin_errors = 0;
+  std::uint64_t admission_rejects = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t evictions = 0;
+  ByteCount bytes_served = 0;
+  ByteCount bytes_from_origin = 0;
+
+  void merge(const EdgePopReport& other);
+};
 
 struct FleetReport {
   std::uint64_t users = 0;
@@ -30,6 +52,11 @@ struct FleetReport {
   /// included — faults do not spare them). Serialized only when non-zero
   /// so clean-run reports stay byte-identical to pre-fault builds.
   FaultCounters faults;
+
+  /// Per-PoP edge tier telemetry, keyed by PoP id. Empty on edge-disabled
+  /// runs and then serialized to nothing, keeping those reports
+  /// byte-identical to pre-edge builds.
+  std::map<int, EdgePopReport> edge_pops;
 
   /// Wire totals across all treatment visits, and the same users replayed
   /// under the baseline strategy (zero when no baseline was run).

@@ -33,6 +33,12 @@ FleetRunner::FleetRunner(FleetParams params, std::uint64_t num_users,
     : params_(std::move(params)),
       num_users_(num_users),
       threads_(std::max(threads, 1)) {
+  if (params_.edge.enabled()) {
+    // Edge mode: sharding follows the PoP partition, not user-count
+    // geometry — shared cache state must never cross a worker boundary.
+    shard_count_ = static_cast<std::size_t>(params_.edge.pops);
+    return;
+  }
   const std::uint64_t shard_size = std::max<std::uint64_t>(
       params_.shard_size, 1);
   shard_count_ = static_cast<std::size_t>(
@@ -44,12 +50,26 @@ FleetReport FleetRunner::run() {
       std::max<std::uint64_t>(params_.shard_size, 1);
 
   ShardQueue queue;
-  for (std::size_t s = 0; s < shard_count_; ++s) {
-    ShardTask task;
-    task.shard_index = s;
-    task.first_user = static_cast<std::uint64_t>(s) * shard_size;
-    task.user_count = std::min(shard_size, num_users_ - task.first_user);
-    queue.push(task);
+  if (params_.edge.enabled()) {
+    // One task per PoP, each spanning every user id; the shard filters to
+    // the users edge_pop_of maps to its PoP. Work partitioning is a pure
+    // function of (seed, pops) — never of threads or shard_size.
+    for (std::size_t s = 0; s < shard_count_; ++s) {
+      ShardTask task;
+      task.shard_index = s;
+      task.first_user = 0;
+      task.user_count = num_users_;
+      task.pop = static_cast<int>(s);
+      queue.push(task);
+    }
+  } else {
+    for (std::size_t s = 0; s < shard_count_; ++s) {
+      ShardTask task;
+      task.shard_index = s;
+      task.first_user = static_cast<std::uint64_t>(s) * shard_size;
+      task.user_count = std::min(shard_size, num_users_ - task.first_user);
+      queue.push(task);
+    }
   }
   queue.close();
 

@@ -12,8 +12,12 @@ namespace {
 std::vector<client::PageLoadResult> replay_timeline(
     const std::shared_ptr<server::Site>& site, const UserProfile& profile,
     core::StrategyKind kind, core::StrategyOptions options,
-    netsim::FaultSpec faults) {
+    netsim::FaultSpec faults, edge::EdgePop* edge_pop,
+    Duration edge_origin_rtt) {
   options.mobile_client = profile.mobile_client;
+  // Bind this arm's shared PoP (if any) into the user's private testbed.
+  options.edge_pop = edge_pop;
+  if (edge_pop != nullptr) options.edge_origin_rtt = edge_origin_rtt;
   netsim::NetworkConditions conditions = conditions_for(profile.tier);
   conditions.faults = faults;
   // Key the fault decision stream by user id (the fleet RNG discipline):
@@ -45,12 +49,15 @@ std::shared_ptr<server::Site> Shard::site_for(int site_index) {
 void Shard::replay_user(const UserProfile& profile, FleetReport& report) {
   const auto site = site_for(profile.site_index);
   const auto treat = replay_timeline(site, profile, params_.strategy,
-                                     params_.options, params_.faults);
+                                     params_.options, params_.faults,
+                                     treat_pop_.get(),
+                                     params_.edge.origin_rtt);
   const bool compare = params_.baseline != params_.strategy;
   std::vector<client::PageLoadResult> base;
   if (compare) {
     base = replay_timeline(site, profile, params_.baseline, params_.options,
-                           params_.faults);
+                           params_.faults, base_pop_.get(),
+                           params_.edge.origin_rtt);
   }
 
   report.users += 1;
@@ -116,9 +123,41 @@ void Shard::replay_user(const UserProfile& profile, FleetReport& report) {
 
 FleetReport Shard::run() {
   FleetReport report;
+  if (params_.edge.enabled() && task_.pop >= 0) {
+    edge::EdgeConfig ec;
+    ec.pop_id = task_.pop;
+    ec.capacity = params_.edge.capacity;
+    ec.tinylfu_admission = params_.edge.admission;
+    treat_pop_ = std::make_unique<edge::EdgePop>(ec);
+    base_pop_ = std::make_unique<edge::EdgePop>(ec);
+  }
   for (std::uint64_t i = 0; i < task_.user_count; ++i) {
-    replay_user(make_user_profile(params_.user_model, task_.first_user + i),
-                report);
+    const std::uint64_t user_id = task_.first_user + i;
+    // Edge mode: the task spans the whole fleet; run only this PoP's
+    // users (ascending id, so sample order stays canonical).
+    if (task_.pop >= 0 &&
+        edge_pop_of(params_.user_model.master_seed, user_id,
+                    params_.edge.pops) != task_.pop) {
+      continue;
+    }
+    replay_user(make_user_profile(params_.user_model, user_id), report);
+  }
+  if (treat_pop_) {
+    const edge::EdgePopStats s = treat_pop_->stats();
+    EdgePopReport& e = report.edge_pops[task_.pop];
+    e.requests = s.requests;
+    e.hits = s.hits;
+    e.revalidated_hits = s.revalidated_hits;
+    e.misses = s.misses;
+    e.coalesced = s.coalesced;
+    e.origin_fetches = s.origin_fetches;
+    e.origin_not_modified = s.origin_not_modified;
+    e.origin_errors = s.origin_errors;
+    e.admission_rejects = s.admission_rejects;
+    e.stores = s.stores;
+    e.evictions = s.evictions;
+    e.bytes_served = s.bytes_served;
+    e.bytes_from_origin = s.bytes_from_origin;
   }
   return report;
 }

@@ -13,6 +13,7 @@
 #include <memory>
 
 #include "core/experiment.h"
+#include "edge/pop.h"
 #include "fleet/report.h"
 #include "fleet/user_model.h"
 
@@ -43,13 +44,21 @@ struct FleetParams {
   /// bit-identical for any value because each user's replay is
   /// self-contained and merging is canonicalized.
   std::uint64_t shard_size = 256;
+
+  /// Edge tier (pops == 0: no edge anywhere, identical to pre-edge runs).
+  /// When enabled, sharding switches from contiguous user ranges to
+  /// one-shard-per-PoP so cache sharing never crosses a thread boundary.
+  edge::EdgeTierParams edge;
 };
 
-/// Contiguous user-id range [first_user, first_user + user_count).
+/// Contiguous user-id range [first_user, first_user + user_count). In
+/// edge mode the range spans the whole fleet and `pop` selects which of
+/// those users — the ones edge_pop_of maps to this PoP — the shard runs.
 struct ShardTask {
   std::size_t shard_index = 0;
   std::uint64_t first_user = 0;
   std::uint64_t user_count = 0;
+  int pop = -1;  // >= 0: replay only this PoP's users, sharing its cache
 };
 
 /// Replays one batch of users and accumulates their FleetReport.
@@ -71,6 +80,11 @@ class Shard {
   // Lazily generated, shard-private site catalog. Users of one shard that
   // share a site share memoized content (single-threaded, safe).
   std::map<int, std::shared_ptr<server::Site>> sites_;
+  // Edge mode: this shard's PoP, one cache per arm so the baseline replay
+  // never warms (or is warmed by) the treatment's shared state. Only the
+  // treatment PoP's stats are exported.
+  std::unique_ptr<edge::EdgePop> treat_pop_;
+  std::unique_ptr<edge::EdgePop> base_pop_;
 };
 
 }  // namespace catalyst::fleet

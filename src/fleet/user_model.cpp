@@ -97,4 +97,13 @@ UserProfile make_user_profile(const UserModelParams& params,
   return profile;
 }
 
+int edge_pop_of(std::uint64_t master_seed, std::uint64_t user_id, int pops) {
+  if (pops <= 0) return 0;
+  // Forked off the same per-user stream as the profile draw, on a salt of
+  // its own so it never perturbs (or is perturbed by) profile sampling.
+  constexpr std::uint64_t kEdgeStream = 0xed6eull;
+  Rng rng = Rng(master_seed).fork(user_id).fork(kEdgeStream);
+  return static_cast<int>(rng.uniform_int(0, pops - 1));
+}
+
 }  // namespace catalyst::fleet

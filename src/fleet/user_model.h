@@ -78,4 +78,10 @@ struct UserProfile {
 UserProfile make_user_profile(const UserModelParams& params,
                               std::uint64_t user_id);
 
+/// Maps a user to an edge PoP — a pure function of (master_seed, user_id,
+/// pops), like every other per-user draw. The edge-enabled fleet partitions
+/// shards by PoP, so this mapping (not shard geometry) decides which users
+/// share cache state; determinism survives any --threads value.
+int edge_pop_of(std::uint64_t master_seed, std::uint64_t user_id, int pops);
+
 }  // namespace catalyst::fleet

@@ -161,7 +161,7 @@ TEST(HttpCacheTest, StatsAccumulate) {
   cache.lookup("u", TimePoint{} + seconds(90));  // revalidation
   cache.lookup("v", TimePoint{});                // miss
   EXPECT_EQ(cache.stats().lookups, 3u);
-  EXPECT_EQ(cache.stats().fresh_hits, 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
   EXPECT_EQ(cache.stats().revalidations, 1u);
   EXPECT_EQ(cache.stats().misses, 1u);
   EXPECT_EQ(cache.stats().stores, 1u);

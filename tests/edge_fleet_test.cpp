@@ -1,0 +1,104 @@
+// Edge-enabled fleet invariants: PoP partitioning is a pure function of
+// the seed, the report stays bit-identical across thread counts, and an
+// edge-disabled run serializes to the exact bytes it produced before the
+// edge tier existed.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "fleet/runner.h"
+#include "fleet/user_model.h"
+
+namespace catalyst::fleet {
+namespace {
+
+FleetParams small_fleet() {
+  FleetParams params;
+  params.shard_size = 4;
+  params.user_model.site_catalog_size = 8;
+  params.user_model.horizon = days(2);
+  params.user_model.mean_visit_gap = hours(12);
+  params.user_model.max_visits = 3;
+  return params;
+}
+
+FleetParams edge_fleet() {
+  FleetParams params = small_fleet();
+  params.edge.pops = 3;
+  params.edge.capacity = MiB(8);
+  return params;
+}
+
+constexpr std::uint64_t kUsers = 24;
+
+std::string run_fleet(FleetParams params, int threads) {
+  return FleetRunner(std::move(params), kUsers, threads).run().serialize();
+}
+
+TEST(EdgeFleetTest, PopMappingIsAPureFunctionOfSeedAndUser) {
+  std::set<int> pops_seen;
+  for (std::uint64_t user = 0; user < 64; ++user) {
+    const int pop = edge_pop_of(/*master_seed=*/2024, user, /*pops=*/3);
+    EXPECT_GE(pop, 0);
+    EXPECT_LT(pop, 3);
+    EXPECT_EQ(edge_pop_of(2024, user, 3), pop);  // stable on re-query
+    pops_seen.insert(pop);
+  }
+  // 64 users across 3 PoPs: every PoP gets somebody.
+  EXPECT_EQ(pops_seen.size(), 3u);
+  // The mapping keys off the seed, not just the user id.
+  bool any_moved = false;
+  for (std::uint64_t user = 0; user < 64; ++user) {
+    any_moved |= edge_pop_of(2024, user, 3) != edge_pop_of(2025, user, 3);
+  }
+  EXPECT_TRUE(any_moved);
+}
+
+TEST(EdgeFleetTest, ThreadCountDoesNotChangeEdgeReportBytes) {
+  const std::string one = run_fleet(edge_fleet(), 1);
+  EXPECT_EQ(run_fleet(edge_fleet(), 8), one);
+  // Rerunning is stable, not just coincidentally equal.
+  EXPECT_EQ(run_fleet(edge_fleet(), 1), one);
+}
+
+TEST(EdgeFleetTest, DisabledEdgeLeavesReportUntouched) {
+  // The "edge" section only exists on edge-enabled runs, so edge-off
+  // reports keep their exact pre-edge byte layout.
+  const std::string off = run_fleet(small_fleet(), 1);
+  EXPECT_EQ(off.find("\"edge\""), std::string::npos);
+
+  const std::string on = run_fleet(edge_fleet(), 1);
+  EXPECT_NE(on.find("\"edge\""), std::string::npos);
+  EXPECT_NE(on, off);
+}
+
+TEST(EdgeFleetTest, EdgeAccountingBalances) {
+  FleetRunner runner(edge_fleet(), kUsers, 2);
+  const FleetReport report = runner.run();
+
+  ASSERT_EQ(report.edge_pops.size(), 3u);
+  EdgePopReport total;
+  for (const auto& [pop, stats] : report.edge_pops) {
+    EXPECT_GE(pop, 0);
+    EXPECT_LT(pop, 3);
+    total.merge(stats);
+  }
+  EXPECT_GT(total.requests, 0u);
+  // Every edge request resolves as exactly one of hit / revalidated / miss.
+  EXPECT_EQ(total.requests,
+            total.hits + total.revalidated_hits + total.misses);
+  // Origin fetches only happen for requests, never spontaneously.
+  EXPECT_LE(total.origin_fetches, total.requests);
+  EXPECT_LE(total.origin_not_modified, total.origin_fetches);
+}
+
+TEST(EdgeFleetTest, EdgeRunsOneShardPerPop) {
+  FleetRunner runner(edge_fleet(), kUsers, 2);
+  EXPECT_EQ(runner.shard_count(), 3u);
+  const FleetReport report = runner.run();
+  EXPECT_EQ(report.users, kUsers);
+}
+
+}  // namespace
+}  // namespace catalyst::fleet

@@ -4,6 +4,7 @@
 //            [--baseline K] [--sites N] [--shard-size N]
 //            [--horizon-days D] [--mean-gap-hours H] [--max-visits V]
 //            [--loss P] [--outage F] [--fault-seed S]
+//            [--edge-pops N] [--edge-capacity-mb M] [--edge-origin-rtt-ms R]
 //            [--json] [--live]
 //
 // Runs N independent user sessions (Zipf site popularity, Poisson revisit
@@ -82,12 +83,20 @@ void usage() {
       "                [--baseline K] [--sites N] [--shard-size N]\n"
       "                [--horizon-days D] [--mean-gap-hours H]\n"
       "                [--max-visits V] [--loss P] [--outage F]\n"
-      "                [--fault-seed S] [--json]\n"
+      "                [--fault-seed S] [--edge-pops N]\n"
+      "                [--edge-capacity-mb M] [--edge-origin-rtt-ms R]\n"
+      "                [--edge-no-admission] [--json]\n"
       "\n"
       "  --loss P       per-request fault probability: P mid-stream drops\n"
       "                 plus P/4 silent stalls (default 0: no fault layer)\n"
       "  --outage F     fraction of each hour origins are dark (default 0)\n"
-      "  --fault-seed S seed for the deterministic fault schedule (2024)\n");
+      "  --fault-seed S seed for the deterministic fault schedule (2024)\n"
+      "  --edge-pops N  shared edge cache PoPs between users and origins\n"
+      "                 (default 0: no edge tier, pre-edge byte-identical\n"
+      "                 output; users map to PoPs by seed + user id)\n"
+      "  --edge-capacity-mb M   per-PoP cache budget (default 64)\n"
+      "  --edge-origin-rtt-ms R PoP-to-origin RTT (default 30)\n"
+      "  --edge-no-admission    disable TinyLFU admission (plain SLRU)\n");
 }
 
 }  // namespace
@@ -131,6 +140,15 @@ int main(int argc, char** argv) {
   params.faults.outage_fraction = args.num("outage", 0.0);
   params.faults.fault_seed =
       static_cast<std::uint64_t>(args.num("fault-seed", 2024));
+
+  // Edge tier (default-off; zero PoPs leaves topology, replay and report
+  // byte-identical to builds without the edge subsystem).
+  params.edge.pops = static_cast<int>(args.num("edge-pops", 0));
+  params.edge.capacity =
+      MiB(static_cast<ByteCount>(args.num("edge-capacity-mb", 64)));
+  params.edge.origin_rtt = seconds_f(args.num("edge-origin-rtt-ms", 30) /
+                                     1000.0);
+  params.edge.admission = !args.has("edge-no-admission");
 
   fleet::FleetRunner runner(params, users, threads);
   std::fprintf(stderr, "fleetsim: %llu users, %zu shards, %d thread(s), %s vs %s\n",
