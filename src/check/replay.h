@@ -1,0 +1,36 @@
+// Deterministic record/replay trace format.
+//
+// A page load's event-level trace (request/response/cache-decision tuples
+// with virtual timestamps) serializes to compact JSON lines. Because the
+// whole simulation is a pure function of (master_seed, user_id), replaying
+// the same configuration must reproduce the trace bit-identically — the
+// serialized form is the regression anchor (tests/golden/), and any diff
+// pinpoints the first divergent event.
+//
+// Line format (one JSON object per line, keys in fixed order):
+//   {"u":<user>,"v":<visit>,"page":...,"plt_ns":...,...}   page summary
+//   {"u":<user>,"v":<visit>,"i":<n>,"url":...,...}         one fetch each
+// 64-bit values (timestamps, digests) are emitted as decimal/hex *strings*
+// where double precision would corrupt them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "client/metrics.h"
+
+namespace catalyst::check {
+
+/// Serializes one page load (summary line + one line per recorded fetch).
+/// Every line ends with '\n'. `user` and `visit` label the load so traces
+/// from many loads concatenate into one replayable stream.
+std::string trace_to_jsonl(const client::PageLoadResult& result,
+                           std::uint64_t user, std::uint32_t visit);
+
+/// First difference between two JSONL traces: empty string when they are
+/// bit-identical, otherwise a human-readable "line N" report quoting both
+/// sides (or the side that ran out of lines).
+std::string diff_traces(const std::string& recorded,
+                        const std::string& replayed);
+
+}  // namespace catalyst::check

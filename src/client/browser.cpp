@@ -234,8 +234,12 @@ void Browser::network_fetch(const Url& url, bool is_navigation,
   }
 
   const bool have_entry = lookup.entry != nullptr;
+  // mutate_serve_stale is the StaleServeStrategy oracle self-test: any
+  // cached entry counts as fresh, skipping the revalidation RFC 9111
+  // requires once the freshness lifetime has lapsed.
   const bool fresh_hit =
-      lookup.decision == cache::LookupDecision::FreshHit;
+      lookup.decision == cache::LookupDecision::FreshHit ||
+      (config_.mutate_serve_stale && have_entry);
 
   if (fresh_hit && !force_revalidate) {
     FetchOutcome outcome;

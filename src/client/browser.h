@@ -34,6 +34,13 @@ namespace catalyst::client {
 using OracleValidator =
     std::function<bool(const Url& url, const http::Etag& cached_etag)>;
 
+/// Byte-equivalence serve classifier (check::ByteOracle::classify bound by
+/// the testbed). Measurement-only: called once per recorded resource with
+/// the delivered outcome; returns the oracle's verdict.
+using ServeClassifier =
+    std::function<netsim::ServeClass(const Url& url,
+                                     const FetchOutcome& outcome)>;
+
 struct BrowserConfig {
   std::string client_host = "client";
   std::string browser_id = "client-0";  // session cookie value
@@ -48,6 +55,11 @@ struct BrowserConfig {
   /// Attach a Cache-Digest header (bloom filter over cached same-origin
   /// paths) to navigation requests — the cache-digest push baseline.
   bool send_cache_digest = false;
+
+  /// Deliberate bug for oracle self-tests (StaleServeStrategy): treat any
+  /// cached entry as a fresh hit, skipping revalidation past its freshness
+  /// lifetime. The byte-equivalence oracle must flag the resulting serves.
+  bool mutate_serve_stale = false;
 };
 
 class PageLoader;
@@ -98,6 +110,18 @@ class Browser {
     audit_ = std::move(audit);
   }
 
+  /// Byte-equivalence oracle hook; measurement-only like the audit.
+  void set_serve_classifier(ServeClassifier classifier) {
+    classifier_ = std::move(classifier);
+  }
+
+  /// Runs the installed serve classifier (Unchecked when none is set).
+  netsim::ServeClass classify_serve(const Url& url,
+                                    const FetchOutcome& outcome) const {
+    return classifier_ ? classifier_(url, outcome)
+                       : netsim::ServeClass::Unchecked;
+  }
+
   /// Seeds an origin's SW cache from responses observed in the completing
   /// page load (install-time precache; served from browser memory, no
   /// network) and marks it registered.
@@ -134,6 +158,7 @@ class Browser {
       promise_waiters_;
   OracleValidator oracle_;
   OracleValidator audit_;
+  ServeClassifier classifier_;
   std::shared_ptr<PageLoader> current_loader_;
 };
 

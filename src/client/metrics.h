@@ -55,6 +55,13 @@ struct PageLoadResult {
   /// SW-served resources; status-quo caching can serve stale within TTL.
   std::uint32_t stale_served = 0;
 
+  /// Byte-equivalence oracle tallies (check::ByteOracle verdicts; all zero
+  /// unless the testbed installs a serve classifier). checked counts
+  /// auditable serves: fresh + allowed_stale + violations.
+  std::uint32_t oracle_checked = 0;
+  std::uint32_t oracle_allowed_stale = 0;
+  std::uint32_t oracle_violations = 0;
+
   /// Fault/degradation telemetry — all zero on clean runs.
   std::uint32_t fallback_revalidations = 0;  // SW degraded-mode cond. GETs
   std::uint32_t timeouts_fired = 0;          // request deadlines that fired

@@ -4,6 +4,7 @@
 
 #include "client/browser.h"
 #include "html/css.h"
+#include "util/hash.h"
 #include "html/link_extract.h"
 #include "html/parser.h"
 
@@ -45,6 +46,22 @@ void PageLoader::record(const Url& url, http::ResourceClass rc,
       ++result_.from_push;
       break;
   }
+  const netsim::ServeClass verdict = browser_.classify_serve(url, outcome);
+  switch (verdict) {
+    case netsim::ServeClass::Unchecked:
+      break;
+    case netsim::ServeClass::Fresh:
+      ++result_.oracle_checked;
+      break;
+    case netsim::ServeClass::AllowedStale:
+      ++result_.oracle_checked;
+      ++result_.oracle_allowed_stale;
+      break;
+    case netsim::ServeClass::Violation:
+      ++result_.oracle_checked;
+      ++result_.oracle_violations;
+      break;
+  }
   netsim::FetchTrace trace;
   trace.url = url.path_and_query();
   trace.resource_class = rc;
@@ -58,6 +75,9 @@ void PageLoader::record(const Url& url, http::ResourceClass rc,
           : (outcome.source == netsim::FetchSource::NotModified
                  ? outcome.response.headers.wire_size() + 19
                  : 0);
+  trace.status = http::code(outcome.response.status);
+  trace.body_digest = fnv1a64(outcome.response.body);
+  trace.oracle_class = verdict;
   result_.trace.record(std::move(trace));
   if (outcome.stale) ++result_.stale_served;
   if (outcome.sw_fallback) ++result_.fallback_revalidations;

@@ -89,6 +89,17 @@ struct StrategyOptions {
   /// RTT between an edge PoP and the origin (PoPs sit in well-peered
   /// exchanges, but further out than the RDR cloud proxy).
   Duration edge_origin_rtt = milliseconds(30);
+
+  /// Install the byte-equivalence oracle (check::ByteOracle): every serve
+  /// a page load consumes is audited against the origin's ground-truth
+  /// content at fetch time. Measurement-only; off by default so existing
+  /// runs stay byte-identical.
+  bool byte_oracle = false;
+
+  /// StaleServeStrategy mutation for oracle self-tests: the browser treats
+  /// every cached entry as fresh, skipping required revalidations. Must be
+  /// caught by the oracle; never set outside tests/difftest --mutate.
+  bool mutate_stale_serve = false;
 };
 
 }  // namespace catalyst::core

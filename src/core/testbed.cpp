@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "server/catalyst_module.h"
+
 namespace catalyst::core {
 
 Testbed make_testbed(std::shared_ptr<server::Site> site,
@@ -85,6 +87,7 @@ Testbed make_testbed(std::shared_ptr<server::Site> site,
   // Under injected faults the browser needs deadlines + retries to
   // guarantee every visit completes.
   bc.fetcher.resilience.enabled = conditions.faults.any();
+  bc.mutate_serve_stale = options.mutate_stale_serve;
   tb.browser = std::make_unique<client::Browser>(*tb.network, bc);
 
   // With an edge tier, main-origin traffic is addressed to the PoP's
@@ -107,6 +110,30 @@ Testbed make_testbed(std::shared_ptr<server::Site> site,
           const server::Resource* r = site_ref->find(url.path);
           return r == nullptr ||
                  r->etag_at(loop->now()).weak_equals(etag);
+        });
+  }
+
+  // Byte-equivalence oracle: audits every delivered body against the
+  // site's ground-truth content at fetch time. Measurement-only.
+  if (options.byte_oracle) {
+    tb.byte_oracle = std::make_unique<check::ByteOracle>();
+    // A Catalyst origin legitimately rewrites HTML (SW-registration
+    // snippet); ground truth must include the same transform or every
+    // decorated serve would read as corruption.
+    check::BodyTransform html_transform;
+    if (sc.enable_catalyst) {
+      html_transform = [](std::string& body) {
+        server::CatalystModule::inject_registration(body);
+      };
+    }
+    tb.byte_oracle->add_site(tb.site, html_transform);
+    if (!edge_host.empty()) {
+      tb.byte_oracle->add_alias(edge_host, tb.site, html_transform);
+    }
+    check::ByteOracle* oracle = tb.byte_oracle.get();
+    tb.browser->set_serve_classifier(
+        [oracle](const Url& url, const client::FetchOutcome& outcome) {
+          return oracle->classify(url, outcome);
         });
   }
 
@@ -182,6 +209,13 @@ Testbed make_testbed(const workload::SiteBundle& bundle,
     tb.third_party_servers.push_back(
         std::make_unique<server::Server>(*tb.network, tp, sc));
     tb.third_party_sites.push_back(tp);
+  }
+
+  // Extend the byte-equivalence oracle across every origin in the bundle.
+  if (tb.byte_oracle) {
+    for (const auto& tp : bundle.third_party) {
+      tb.byte_oracle->add_site(tp);
+    }
   }
 
   // Extend the staleness audit across all origins in the bundle.

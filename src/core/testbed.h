@@ -4,6 +4,7 @@
 
 #include <memory>
 
+#include "check/oracle.h"
 #include "client/browser.h"
 #include "core/rdr_proxy.h"
 #include "core/strategy.h"
@@ -31,6 +32,9 @@ struct Testbed {
   // Third-party origins (multi-origin bundles only).
   std::vector<std::shared_ptr<server::Site>> third_party_sites;
   std::vector<std::unique_ptr<server::Server>> third_party_servers;
+  // Byte-equivalence oracle (only when options.byte_oracle; the browser's
+  // serve classifier points into it).
+  std::unique_ptr<check::ByteOracle> byte_oracle;
   std::unique_ptr<client::Browser> browser;
   Url page_url;   // what the user "types": the origin page
   Url fetch_url;  // what the browser actually fetches (proxy for RDR)

@@ -53,6 +53,10 @@ void FleetReport::merge(const FleetReport& other) {
   revisits += other.revisits;
   counters.merge(other.counters);
   faults.merge(other.faults);
+  oracle.merge(other.oracle);
+  for (const auto& [user, trace] : other.traces) {
+    traces.emplace(user, trace);
+  }
   for (const auto& [pop, stats] : other.edge_pops) {
     edge_pops[pop].merge(stats);
   }
@@ -94,6 +98,18 @@ Json FleetReport::to_json() const {
     f.set("failed_loads",
           Json::number(static_cast<double>(faults.failed_loads)));
     j.set("faults", std::move(f));
+  }
+
+  // Only present when the byte-equivalence oracle audited something:
+  // oracle-off reports must serialize to their pre-oracle bytes.
+  if (oracle.any()) {
+    Json o = Json::object();
+    o.set("checked", Json::number(static_cast<double>(oracle.checked)));
+    o.set("allowed_stale",
+          Json::number(static_cast<double>(oracle.allowed_stale)));
+    o.set("violations",
+          Json::number(static_cast<double>(oracle.violations)));
+    j.set("oracle", std::move(o));
   }
 
   // Only present on edge-enabled runs: edge-off reports must serialize to
@@ -163,6 +179,12 @@ Json FleetReport::to_json() const {
 
 std::string FleetReport::serialize() const { return to_json().dump(); }
 
+std::string FleetReport::traces_jsonl() const {
+  std::string out;
+  for (const auto& [user, trace] : traces) out += trace;  // ascending id
+  return out;
+}
+
 std::string FleetReport::render_table(const std::string& title) const {
   Table table(title);
   table.set_header({"metric", "value"});
@@ -187,6 +209,13 @@ std::string FleetReport::render_table(const std::string& title) const {
   table.add_row({"  sw-cache hits", pct_of(counters.from_sw_cache)});
   table.add_row({"  push deliveries", pct_of(counters.from_push)});
   table.add_row({"  stale served", std::to_string(counters.stale_served)});
+  if (oracle.any()) {
+    table.add_separator();
+    table.add_row({"oracle checked", std::to_string(oracle.checked)});
+    table.add_row(
+        {"  allowed stale", std::to_string(oracle.allowed_stale)});
+    table.add_row({"  violations", std::to_string(oracle.violations)});
+  }
   if (faults.any()) {
     table.add_separator();
     table.add_row({"timeouts fired", std::to_string(faults.timeouts)});

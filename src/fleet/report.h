@@ -53,6 +53,18 @@ struct FleetReport {
   /// so clean-run reports stay byte-identical to pre-fault builds.
   FaultCounters faults;
 
+  /// Byte-equivalence oracle tallies across ALL treatment visits (cold
+  /// loads audited too — a wrong byte is wrong on any visit). Serialized
+  /// only when any() so oracle-off reports stay byte-identical.
+  OracleCounters oracle;
+
+  /// Recorded page-load traces (check::trace_to_jsonl), keyed by user id:
+  /// only users below FleetParams::trace_users record. A std::map keyed by
+  /// user id merges canonically, so the concatenation is bit-identical for
+  /// any --threads/--shard-size. Deliberately NOT part of to_json()/
+  /// serialize(): traces export via traces_jsonl() (fleetsim --trace-out).
+  std::map<std::uint64_t, std::string> traces;
+
   /// Per-PoP edge tier telemetry, keyed by PoP id. Empty on edge-disabled
   /// runs and then serialized to nothing, keeping those reports
   /// byte-identical to pre-edge builds.
@@ -96,6 +108,10 @@ struct FleetReport {
 
   /// Canonical byte-stable serialization of to_json().
   std::string serialize() const;
+
+  /// All recorded traces concatenated in ascending user-id order (one
+  /// replayable JSONL stream; empty when tracing was off).
+  std::string traces_jsonl() const;
 
   /// Human-readable console table.
   std::string render_table(const std::string& title) const;

@@ -1,5 +1,6 @@
 #include "fleet/shard.h"
 
+#include "check/replay.h"
 #include "workload/sitegen.h"
 
 namespace catalyst::fleet {
@@ -64,6 +65,15 @@ void Shard::replay_user(const UserProfile& profile, FleetReport& report) {
   report.visits += treat.size();
   report.revisits += treat.size() - 1;
 
+  if (profile.user_id < params_.trace_users) {
+    std::string jsonl;
+    for (std::size_t i = 0; i < treat.size(); ++i) {
+      jsonl += check::trace_to_jsonl(treat[i], profile.user_id,
+                                     static_cast<std::uint32_t>(i));
+    }
+    report.traces.emplace(profile.user_id, std::move(jsonl));
+  }
+
   double user_reduction_sum = 0.0;
   std::size_t user_reduction_n = 0;
   std::uint64_t user_fetches = 0;
@@ -84,6 +94,11 @@ void Shard::replay_user(const UserProfile& profile, FleetReport& report) {
     report.faults.connection_failures += r.connection_failures;
     report.faults.fallback_revalidations += r.fallback_revalidations;
     report.faults.failed_loads += r.failed_loads;
+    // Oracle tallies cover every treatment visit — a wrong byte on the
+    // cold load would be just as wrong.
+    report.oracle.checked += r.oracle_checked;
+    report.oracle.allowed_stale += r.oracle_allowed_stale;
+    report.oracle.violations += r.oracle_violations;
     if (i == 0) continue;  // cold load: all-network by construction
 
     CacheCounters c;

@@ -49,6 +49,11 @@ struct FleetParams {
   /// When enabled, sharding switches from contiguous user ranges to
   /// one-shard-per-PoP so cache sharing never crosses a thread boundary.
   edge::EdgeTierParams edge;
+
+  /// Record replayable JSONL traces (check::trace_to_jsonl) for users with
+  /// id < trace_users (0 = off). Keyed by user id in the report, so the
+  /// exported stream is bit-identical for any --threads/--shard-size.
+  std::uint64_t trace_users = 0;
 };
 
 /// Contiguous user-id range [first_user, first_user + user_count). In

@@ -22,6 +22,20 @@ std::string_view to_string(FetchSource source) {
   return "?";
 }
 
+std::string_view to_string(ServeClass cls) {
+  switch (cls) {
+    case ServeClass::Unchecked:
+      return "unchecked";
+    case ServeClass::Fresh:
+      return "fresh";
+    case ServeClass::AllowedStale:
+      return "allowed-stale";
+    case ServeClass::Violation:
+      return "violation";
+  }
+  return "?";
+}
+
 std::string TraceLog::render_waterfall(int width) const {
   if (traces_.empty()) return "(no fetches)\n";
   TimePoint t0 = traces_.front().start;

@@ -5,6 +5,7 @@
 // renders these traces as text.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -24,6 +25,19 @@ enum class FetchSource {
 
 std::string_view to_string(FetchSource source);
 
+/// Byte-equivalence oracle verdict for one serve (check::ByteOracle).
+/// Unchecked when no oracle is installed or the serve is unauditable
+/// (unknown origin, non-200 status).
+enum class ServeClass {
+  Unchecked,
+  Fresh,         // delivered bytes match the origin's content at fetch time
+  AllowedStale,  // bytes differ, but within RFC 9111 freshness — the
+                 // staleness the status quo explicitly permits
+  Violation,     // bytes differ with no freshness justification: a bug
+};
+
+std::string_view to_string(ServeClass cls);
+
 struct FetchTrace {
   std::string url;
   http::ResourceClass resource_class = http::ResourceClass::Other;
@@ -31,6 +45,9 @@ struct FetchTrace {
   TimePoint finish{};   // when its bytes were usable
   FetchSource source = FetchSource::Network;
   ByteCount bytes_down = 0;  // response bytes on the wire (0 for cache hits)
+  std::uint32_t status = 200;     // HTTP status of the delivered response
+  std::uint64_t body_digest = 0;  // FNV-1a over the delivered body bytes
+  ServeClass oracle_class = ServeClass::Unchecked;
 
   Duration elapsed() const { return finish - start; }
 };

@@ -153,21 +153,26 @@ Duration CatalystModule::decorate_html(
   stats_.map_header_bytes += map.header_wire_size();
 
   if (response.status == http::Status::Ok) {
-    const std::string snippet = registration_snippet();
-    const auto pos = response.body.rfind("</body>");
-    if (pos != std::string::npos) {
-      response.body.insert(pos, snippet);
-    } else {
-      response.body += snippet;
-    }
+    const std::size_t before = response.body.size();
+    inject_registration(response.body);
     if (response.declared_body_size > 0) {
-      response.declared_body_size += snippet.size();
+      response.declared_body_size += response.body.size() - before;
     }
     response.finalize(now);  // refresh Content-Length
   }
   // Map assembly cost: one ETag lookup per entry (~100ns each, modeled).
   cost += nanoseconds(static_cast<std::int64_t>(100 * map.size()));
   return cost;
+}
+
+void CatalystModule::inject_registration(std::string& body) {
+  const std::string snippet = registration_snippet();
+  const auto pos = body.rfind("</body>");
+  if (pos != std::string::npos) {
+    body.insert(pos, snippet);
+  } else {
+    body += snippet;
+  }
 }
 
 http::Response CatalystModule::serve_sw_script(TimePoint now) const {

@@ -80,6 +80,12 @@ class CatalystModule {
   /// The Service Worker script response (served at kSwPath).
   http::Response serve_sw_script(TimePoint now) const;
 
+  /// Applies the registration-snippet injection decorate_html performs on
+  /// 200 HTML bodies (insert before the last </body>, else append).
+  /// Public and static so the byte-equivalence oracle can reproduce the
+  /// origin's transform on ground-truth content.
+  static void inject_registration(std::string& body);
+
   const CatalystModuleStats& stats() const { return stats_; }
   const CatalystConfig& config() const { return config_; }
 

@@ -141,6 +141,12 @@ void FaultCounters::merge(const FaultCounters& other) {
   failed_loads += other.failed_loads;
 }
 
+void OracleCounters::merge(const OracleCounters& other) {
+  checked += other.checked;
+  allowed_stale += other.allowed_stale;
+  violations += other.violations;
+}
+
 void AtomicCacheCounters::record(const CacheCounters& delta) {
   slots_[0].fetch_add(delta.from_network, std::memory_order_relaxed);
   slots_[1].fetch_add(delta.from_cache, std::memory_order_relaxed);

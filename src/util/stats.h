@@ -122,6 +122,22 @@ struct FaultCounters {
   bool operator==(const FaultCounters& other) const = default;
 };
 
+/// Byte-equivalence oracle tallies (check::ByteOracle verdicts aggregated
+/// across page loads). All zero when no oracle is installed — reports only
+/// serialize them when any() so oracle-off output is byte-identical to
+/// builds without the check layer.
+struct OracleCounters {
+  std::uint64_t checked = 0;        // auditable serves (fresh+stale+viol)
+  std::uint64_t allowed_stale = 0;  // stale within RFC 9111 freshness
+  std::uint64_t violations = 0;     // stale with no freshness excuse
+
+  void merge(const OracleCounters& other);
+
+  bool any() const { return checked != 0; }
+
+  bool operator==(const OracleCounters& other) const = default;
+};
+
 /// Lock-free mirror of CacheCounters: shard worker threads record deltas
 /// with relaxed atomics (no ordering is needed — each increment is an
 /// independent tally), and the coordinator snapshots after joining the

@@ -1,0 +1,148 @@
+// Record/replay traces: bit-identical across thread counts, divergence
+// detection, and checked-in golden traces for the three main arms.
+//
+// Golden files live in tests/golden/ (CATALYST_GOLDEN_DIR). To regenerate
+// after an intentional behaviour change:
+//   CATALYST_WRITE_GOLDEN=1 ./tests/check_replay_test
+// then review the diff — a golden churn is a simulation-visible change.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "check/replay.h"
+#include "fleet/runner.h"
+
+namespace catalyst {
+namespace {
+
+/// Small but representative fleet: live change processes (so staleness is
+/// possible), multi-visit users, oracle + tracing on.
+fleet::FleetParams trace_params(core::StrategyKind strategy, int edge_pops) {
+  fleet::FleetParams params;
+  params.user_model.master_seed = 99;
+  params.user_model.site_catalog_size = 4;
+  params.user_model.clone_static_snapshot = false;
+  params.user_model.max_visits = 4;
+  params.strategy = strategy;
+  params.baseline = strategy;  // no comparison replay: traces only
+  params.options.byte_oracle = true;
+  params.trace_users = 4;
+  params.edge.pops = edge_pops;
+  return params;
+}
+
+constexpr std::uint64_t kUsers = 6;
+
+std::string golden_path(const std::string& name) {
+  return std::string(CATALYST_GOLDEN_DIR) + "/" + name + ".jsonl";
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void check_against_golden(const std::string& name,
+                          fleet::FleetParams params) {
+  fleet::FleetRunner runner(params, kUsers, 2);
+  const std::string traces = runner.run().traces_jsonl();
+  ASSERT_FALSE(traces.empty());
+  if (std::getenv("CATALYST_WRITE_GOLDEN") != nullptr) {
+    std::ofstream out(golden_path(name), std::ios::binary);
+    out << traces;
+    GTEST_SKIP() << "golden rewritten: " << golden_path(name);
+  }
+  const std::string golden = read_file(golden_path(name));
+  ASSERT_FALSE(golden.empty())
+      << "missing golden " << golden_path(name)
+      << " — regenerate with CATALYST_WRITE_GOLDEN=1";
+  // diff_traces pinpoints the first divergent line; EXPECT_EQ on the
+  // full blobs would drown the signal.
+  EXPECT_EQ(check::diff_traces(golden, traces), "");
+}
+
+TEST(GoldenTraceTest, Baseline) {
+  check_against_golden("baseline",
+                       trace_params(core::StrategyKind::Baseline, 0));
+}
+
+TEST(GoldenTraceTest, Catalyst) {
+  check_against_golden("catalyst",
+                       trace_params(core::StrategyKind::Catalyst, 0));
+}
+
+TEST(GoldenTraceTest, CatalystEdge) {
+  check_against_golden("catalyst_edge",
+                       trace_params(core::StrategyKind::Catalyst, 2));
+}
+
+TEST(ReplayTest, TracesBitIdenticalAcrossThreadCounts) {
+  const fleet::FleetParams params =
+      trace_params(core::StrategyKind::Catalyst, 2);
+  std::string reference;
+  std::string reference_report;
+  for (const int threads : {1, 2, 4, 8}) {
+    fleet::FleetRunner runner(params, kUsers, threads);
+    const fleet::FleetReport report = runner.run();
+    const std::string traces = report.traces_jsonl();
+    ASSERT_FALSE(traces.empty());
+    if (reference.empty()) {
+      reference = traces;
+      reference_report = report.serialize();
+      continue;
+    }
+    EXPECT_EQ(check::diff_traces(reference, traces), "")
+        << "threads=" << threads;
+    EXPECT_EQ(report.serialize(), reference_report)
+        << "threads=" << threads;
+  }
+}
+
+TEST(ReplayTest, RecordReplayIsDeterministic) {
+  // The literal record/replay contract: running the identical config
+  // twice produces byte-identical event streams.
+  const fleet::FleetParams params =
+      trace_params(core::StrategyKind::Baseline, 0);
+  const std::string first =
+      fleet::FleetRunner(params, kUsers, 2).run().traces_jsonl();
+  const std::string second =
+      fleet::FleetRunner(params, kUsers, 2).run().traces_jsonl();
+  EXPECT_EQ(check::diff_traces(first, second), "");
+}
+
+TEST(ReplayTest, DiffTracesPinpointsFirstDivergence) {
+  const std::string recorded = "{\"a\":1}\n{\"b\":2}\n{\"c\":3}\n";
+  EXPECT_EQ(check::diff_traces(recorded, recorded), "");
+  const std::string diverged = "{\"a\":1}\n{\"b\":9}\n{\"c\":3}\n";
+  const std::string report = check::diff_traces(recorded, diverged);
+  ASSERT_FALSE(report.empty());
+  EXPECT_NE(report.find("line 2"), std::string::npos) << report;
+  // Length mismatch is also a divergence.
+  EXPECT_FALSE(check::diff_traces(recorded, "{\"a\":1}\n").empty());
+}
+
+TEST(ReplayTest, OracleCountersRideTheReport) {
+  fleet::FleetParams params = trace_params(core::StrategyKind::Catalyst, 0);
+  fleet::FleetReport report = fleet::FleetRunner(params, kUsers, 2).run();
+  EXPECT_TRUE(report.oracle.any());
+  EXPECT_GT(report.oracle.checked, 0u);
+  EXPECT_EQ(report.oracle.violations, 0u);
+  EXPECT_NE(report.serialize().find("\"oracle\""), std::string::npos);
+
+  // Oracle off: the report must serialize to something containing no
+  // oracle section at all (byte-identity with pre-oracle builds).
+  params.options.byte_oracle = false;
+  params.trace_users = 0;
+  const fleet::FleetReport off =
+      fleet::FleetRunner(params, kUsers, 2).run();
+  EXPECT_FALSE(off.oracle.any());
+  EXPECT_EQ(off.serialize().find("\"oracle\""), std::string::npos);
+  EXPECT_TRUE(off.traces_jsonl().empty());
+}
+
+}  // namespace
+}  // namespace catalyst

@@ -151,6 +151,74 @@ TEST_P(CacheProperties, EtagConfigRoundTripsArbitraryPaths) {
   }
 }
 
+/// Draws a CacheControl with an arbitrary directive combination (including
+/// contradictory ones a buggy origin could emit — the codec must not care).
+http::CacheControl random_cache_control(Rng& rng) {
+  http::CacheControl cc;
+  cc.no_store = rng.bernoulli(0.2);
+  cc.no_cache = rng.bernoulli(0.2);
+  cc.must_revalidate = rng.bernoulli(0.2);
+  cc.immutable = rng.bernoulli(0.2);
+  cc.is_public = rng.bernoulli(0.3);
+  cc.is_private = rng.bernoulli(0.2);
+  if (rng.bernoulli(0.6)) {
+    cc.max_age = seconds(rng.uniform_int(0, 365LL * 24 * 3600));
+  }
+  return cc;
+}
+
+TEST_P(CacheProperties, CacheControlSerializeParseIsIdentity) {
+  // parse ∘ to_string = id over the full directive space: every field the
+  // struct can express survives a wire round trip, 1000 cases per seed.
+  Rng rng(GetParam() ^ 0xCCCC);
+  for (int i = 0; i < 1000; ++i) {
+    const http::CacheControl original = random_cache_control(rng);
+    const std::string wire = original.to_string();
+    const http::CacheControl parsed = http::CacheControl::parse(wire);
+    EXPECT_EQ(parsed, original) << "wire: " << wire;
+    // Serialization is canonical: a second round trip is a fixed point.
+    EXPECT_EQ(parsed.to_string(), wire);
+  }
+}
+
+TEST_P(CacheProperties, CacheControlParseIgnoresNoiseAroundDirectives) {
+  // RFC 9111 §5.2.3: unknown directives are ignored, and list syntax
+  // tolerates arbitrary whitespace — neither may disturb known fields.
+  const http::CacheControl parsed = http::CacheControl::parse(
+      "  no-cache ,x-unknown=5,  max-age=120  , weird");
+  EXPECT_TRUE(parsed.no_cache);
+  ASSERT_TRUE(parsed.max_age.has_value());
+  EXPECT_EQ(*parsed.max_age, seconds(120));
+  EXPECT_FALSE(parsed.no_store);
+}
+
+TEST_P(CacheProperties, EtagConfigEncodeParseIsIdentity) {
+  // parse ∘ encode = id over random maps, 1000 cases per seed: sizes,
+  // weak flags and entry order all survive; encoding is canonical.
+  Rng rng(GetParam() ^ 0xE7A7);
+  for (int i = 0; i < 1000; ++i) {
+    http::EtagConfig config;
+    const int entries = static_cast<int>(rng.uniform_int(0, 12));
+    for (int e = 0; e < entries; ++e) {
+      config.add("/r" + std::to_string(e) + "-" +
+                     std::to_string(rng.next_u64() & 0xFFF),
+                 http::Etag{"t" + std::to_string(rng.next_u64() & 0xFFFFFF),
+                            rng.bernoulli(0.3)});
+    }
+    const std::string wire = config.encode();
+    const auto parsed = http::EtagConfig::parse(wire);
+    ASSERT_TRUE(parsed) << "wire: " << wire;
+    ASSERT_EQ(parsed->size(), config.size());
+    for (const auto& [path, etag] : config.entries()) {
+      const auto found = parsed->find(path);
+      ASSERT_TRUE(found) << path;
+      EXPECT_EQ(found->value, etag.value);
+      EXPECT_EQ(found->weak, etag.weak);
+    }
+    EXPECT_EQ(parsed->encode(), wire);
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, CacheProperties,
                          ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u,
                                            34u));

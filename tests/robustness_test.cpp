@@ -3,6 +3,7 @@
 // cache-capacity pressure.
 #include <gtest/gtest.h>
 
+#include "check/oracle.h"
 #include "client/browser.h"
 #include "core/experiment.h"
 #include "html/generate.h"
@@ -201,7 +202,10 @@ class CatalystDegradationFixture : public ::testing::Test {
       reply.response = http::Response::make(http::Status::Ok);
       reply.response.body = page.build();
       reply.response.headers.set(http::kContentType, "text/html");
-      if (send_map_) {
+      if (malformed_map_) {
+        reply.response.headers.set(http::kXEtagConfig,
+                                   "%%%not-a-map%%%");
+      } else if (send_map_) {
         http::EtagConfig map;
         map.add("/a.css", http::make_content_etag(css_body_));
         map.add("/b.webp", http::make_content_etag(webp_body_));
@@ -242,13 +246,38 @@ class CatalystDegradationFixture : public ::testing::Test {
     return browser_->service_worker(kHost);
   }
 
+  /// Wires a byte-equivalence oracle against this fixture's scripted
+  /// origin: ground truth is whatever the handler would serve right now.
+  void attach_oracle(check::ByteOracle& oracle) {
+    oracle.add_origin(
+        kHost,
+        [this](const std::string& path, TimePoint) -> const std::string* {
+          if (path == "/index.html") {
+            html::HtmlBuilder page("degraded");
+            page.add_stylesheet("/a.css");
+            page.add_image("/b.webp");
+            html_truth_ = page.build();
+            return &html_truth_;
+          }
+          if (path == "/a.css") return &css_body_;
+          if (path == "/b.webp") return &webp_body_;
+          return nullptr;
+        });
+    browser_->set_serve_classifier(
+        [&oracle](const Url& url, const client::FetchOutcome& outcome) {
+          return oracle.classify(url, outcome);
+        });
+  }
+
   netsim::EventLoop loop_;
   netsim::Network net_;
   std::unique_ptr<client::Browser> browser_;
   std::map<std::string, int> requests_;
   bool send_map_ = true;
+  bool malformed_map_ = false;
   std::string css_body_ = std::string(4096, 'c');
   std::string webp_body_ = std::string(9000, 'w');
+  std::string html_truth_;
   std::vector<std::pair<std::string, http::Etag>> extra_map_entries_;
 };
 
@@ -327,6 +356,77 @@ TEST_F(CatalystDegradationFixture, CorruptedSwEntryFallsBackToConditionalGet) {
   EXPECT_EQ(revisit.from_sw_cache, 1u);   // the intact image still serves
   EXPECT_EQ(revisit.failed_loads, 0u);
   EXPECT_FALSE(sw().cache().contains("/a.css"));
+}
+
+TEST_F(CatalystDegradationFixture, DegradedModeNeverServesWrongBytes) {
+  // The oracle audits every serve while the origin degrades: the map
+  // disappears mid-session AND the content changes underneath the caches.
+  // Degraded mode must answer with forced conditional GETs that bring
+  // back current bytes — zero violations through the whole episode.
+  check::ByteOracle oracle;
+  attach_oracle(oracle);
+
+  (void)load();                      // cold, map present
+  send_map_ = false;
+  css_body_ = std::string(5000, 'D');  // changes while the map is gone
+  const auto degraded = load();
+  EXPECT_TRUE(sw().degraded());
+  EXPECT_EQ(degraded.failed_loads, 0u);
+
+  send_map_ = true;                  // recovery, plus another change
+  webp_body_ = std::string(7000, 'W');
+  const auto recovered = load();
+  EXPECT_FALSE(sw().degraded());
+  EXPECT_EQ(recovered.failed_loads, 0u);
+
+  EXPECT_GE(oracle.stats().checked, 9u);  // 3 loads x 3 resources
+  EXPECT_EQ(oracle.stats().violations, 0u)
+      << "first: "
+      << (oracle.violations().empty() ? "" : oracle.violations()[0].url);
+}
+
+TEST_F(CatalystDegradationFixture, MalformedMapWithOracleStaysClean) {
+  // Garbage X-Etag-Config (hostile middlebox): the SW rejects the map and
+  // falls back — and the bytes it forwards must still audit clean even
+  // as the content changes between loads.
+  check::ByteOracle oracle;
+  attach_oracle(oracle);
+  (void)load();
+  malformed_map_ = true;
+  css_body_ = std::string(4500, 'M');
+  const auto broken = load();
+  EXPECT_EQ(broken.failed_loads, 0u);
+  EXPECT_EQ(sw().current_map(), nullptr);
+  EXPECT_EQ(oracle.stats().violations, 0u);
+  EXPECT_GE(oracle.stats().checked, 6u);
+}
+
+TEST(RobustnessTest, MidStreamDropsWithRetriesAuditClean) {
+  // Aggressive fault injection (mid-stream drops, stalls, an outage
+  // window) over a live-changing site under Catalyst: retries must
+  // complete every visit and no fault path may leak stale bytes — the
+  // oracle stays at zero violations across visits spanning changes.
+  workload::SitegenParams params;
+  params.seed = 35;
+  params.site_index = 4;
+  params.clone_static_snapshot = false;
+  auto site = workload::generate_site(params);
+
+  netsim::NetworkConditions cond = netsim::NetworkConditions::median_5g();
+  cond.faults.loss_rate = 0.08;
+  cond.faults.stall_rate = 0.02;
+  cond.faults.outage_fraction = 0.02;
+  cond.faults.fault_seed = 35;
+
+  core::StrategyOptions opts;
+  opts.byte_oracle = true;
+  auto tb = core::make_testbed(site, cond, StrategyKind::Catalyst, opts);
+  for (int h : {1, 9, 26, 50}) {
+    const auto result = core::run_visit(tb, TimePoint{} + hours(h));
+    EXPECT_GT(result.resources_total, 0u);
+  }
+  EXPECT_GT(tb.byte_oracle->stats().checked, 0u);
+  EXPECT_EQ(tb.byte_oracle->stats().violations, 0u);
 }
 
 TEST(RobustnessTest, ZeroDelayRevisitWorks) {

@@ -1,0 +1,525 @@
+// difftest — randomized differential testing across caching strategies.
+//
+//   difftest --rounds N [--seed S] [--mutate stale-serve] [--verbose]
+//            [--users N] [--visits N] [--no-faults] [--no-edge]
+//            [--static-site] [--no-third-party]
+//
+// Each round draws a workload from its round seed (seed + round index):
+// a generated site (sitegen × TTL profile × change model × third-party
+// mix), a handful of users with randomized access tiers and visit
+// schedules, an optional fault mix, and an optional edge-PoP config. The
+// same workload then runs under three arms — Baseline, Catalyst, and
+// Catalyst behind an edge PoP — each wired through the byte-equivalence
+// oracle (check::ByteOracle). A round fails when:
+//
+//   1. any arm records an oracle violation (stale bytes with no RFC 9111
+//      freshness justification), or
+//   2. on fault-free visits, the delivered URL set diverges between
+//      Baseline and a treatment arm, or
+//   3. a per-URL digest divergence between arms is not oracle-excused on
+//      both sides (each side fresh-at-its-own-serve-time or allowed-stale).
+//
+// On failure the config is minimized (drop faults → drop edge → static
+// snapshot → fewer users → fewer visits, keeping whatever still fails)
+// and a single repro command line is printed.
+//
+// --mutate stale-serve injects the deliberately broken StaleServeStrategy
+// (every cached entry treated as fresh, revalidation skipped) into every
+// arm and inverts the expectation: the run passes only if the oracle
+// catches the bug, and prints the first catching round as the repro seed.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "core/testbed.h"
+#include "edge/pop.h"
+#include "fleet/user_model.h"
+#include "util/rng.h"
+#include "util/strings.h"
+#include "workload/sitegen.h"
+
+using namespace catalyst;
+
+namespace {
+
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) continue;
+      key = key.substr(2);
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[key] = argv[++i];
+      } else {
+        values_[key] = "";
+      }
+    }
+  }
+  bool has(const std::string& key) const { return values_.contains(key); }
+  std::string get(const std::string& key, const std::string& fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  double num(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atof(it->second.c_str());
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+/// One user's place in a round: access tier + absolute visit times.
+struct DiffUser {
+  fleet::AccessTier tier = fleet::AccessTier::Typical4g;
+  bool mobile = false;
+  std::vector<TimePoint> visits;
+};
+
+/// A fully materialized round configuration. Every field is drawn from
+/// Rng(round_seed) in a fixed order, then the minimizer only *truncates or
+/// disables* (never redraws), so a minimized config replays the surviving
+/// prefix of the original draw exactly.
+struct RoundConfig {
+  std::uint64_t round_seed = 0;
+  server::TtlProfile ttl = server::TtlProfile::ConservativeCms;
+  bool static_site = false;       // clone_static_snapshot
+  double third_party_fraction = 0.0;
+  bool faults = false;
+  double loss_rate = 0.0;
+  double outage_fraction = 0.0;
+  bool edge = true;               // run the edge arm
+  ByteCount edge_capacity = MiB(8);
+  std::vector<DiffUser> users;
+};
+
+RoundConfig draw_round(std::uint64_t round_seed) {
+  Rng rng(round_seed);
+  RoundConfig cfg;
+  cfg.round_seed = round_seed;
+  switch (rng.uniform_int(0, 3)) {
+    case 0: cfg.ttl = server::TtlProfile::ConservativeCms; break;
+    case 1: cfg.ttl = server::TtlProfile::DeveloperTuned; break;
+    case 2: cfg.ttl = server::TtlProfile::AlwaysRevalidate; break;
+    case 3: cfg.ttl = server::TtlProfile::ConservativeCms; break;
+  }
+  cfg.static_site = rng.bernoulli(0.25);
+  cfg.third_party_fraction = rng.bernoulli(0.3) ? 0.2 : 0.0;
+  cfg.faults = rng.bernoulli(0.4);
+  cfg.loss_rate = rng.uniform(0.02, 0.08);
+  cfg.outage_fraction = rng.bernoulli(0.5) ? rng.uniform(0.005, 0.03) : 0.0;
+  cfg.edge_capacity = MiB(1) << rng.uniform_int(0, 6);  // 1..64 MiB
+  const int users = static_cast<int>(rng.uniform_int(1, 3));
+  for (int u = 0; u < users; ++u) {
+    DiffUser du;
+    switch (rng.uniform_int(0, 3)) {
+      case 0: du.tier = fleet::AccessTier::Fast5g; break;
+      case 1: du.tier = fleet::AccessTier::Typical4g; break;
+      case 2: du.tier = fleet::AccessTier::Slow3g; break;
+      case 3: du.tier = fleet::AccessTier::Constrained; break;
+    }
+    du.mobile = rng.bernoulli(0.3);
+    const int visits = static_cast<int>(rng.uniform_int(2, 5));
+    TimePoint at = TimePoint{} + hours(1);
+    for (int v = 0; v < visits; ++v) {
+      du.visits.push_back(at);
+      const double gap_hours = std::min(
+          120.0, std::max(0.2, rng.lognormal(std::log(12.0), 1.0)));
+      at += seconds_f(gap_hours * 3600.0);
+    }
+    cfg.users.push_back(std::move(du));
+  }
+  return cfg;
+}
+
+/// What one arm delivered, per user per visit.
+struct ArmResult {
+  std::vector<std::vector<client::PageLoadResult>> loads;  // [user][visit]
+  check::OracleStats stats;
+  std::vector<check::Violation> violations;
+};
+
+ArmResult run_arm(const RoundConfig& cfg, core::StrategyKind kind,
+                  bool behind_edge, bool mutate) {
+  // One shared site timeline per round: every arm must see identical
+  // content versions (the whole point of a differential test).
+  workload::SitegenParams sp;
+  sp.seed = cfg.round_seed;
+  sp.site_index = 0;
+  sp.ttl_profile = cfg.ttl;
+  sp.clone_static_snapshot = cfg.static_site;
+  sp.third_party_fraction = cfg.third_party_fraction;
+  const workload::SiteBundle bundle = workload::generate_site_bundle(sp);
+
+  std::unique_ptr<edge::EdgePop> pop;
+  if (behind_edge) {
+    edge::EdgeConfig ec;
+    ec.pop_id = 0;
+    ec.capacity = cfg.edge_capacity;
+    pop = std::make_unique<edge::EdgePop>(ec);
+  }
+
+  ArmResult arm;
+  for (std::size_t u = 0; u < cfg.users.size(); ++u) {
+    const DiffUser& du = cfg.users[u];
+    core::StrategyOptions opts;
+    opts.byte_oracle = true;
+    opts.mutate_stale_serve = mutate;
+    opts.mobile_client = du.mobile;
+    opts.edge_pop = pop.get();
+    netsim::NetworkConditions cond = fleet::conditions_for(du.tier);
+    if (cfg.faults) {
+      cond.faults.loss_rate = cfg.loss_rate;
+      cond.faults.stall_rate = cfg.loss_rate / 4.0;
+      cond.faults.outage_fraction = cfg.outage_fraction;
+      cond.faults.fault_seed = cfg.round_seed;
+      cond.faults.stream = u;
+    }
+    core::Testbed tb = core::make_testbed(bundle, cond, kind, opts);
+    std::vector<client::PageLoadResult> loads;
+    for (const TimePoint at : du.visits) {
+      loads.push_back(core::run_visit(tb, at));
+    }
+    arm.loads.push_back(std::move(loads));
+    const check::OracleStats& st = tb.byte_oracle->stats();
+    arm.stats.checked += st.checked;
+    arm.stats.fresh += st.fresh;
+    arm.stats.allowed_stale += st.allowed_stale;
+    arm.stats.violations += st.violations;
+    arm.stats.unauditable += st.unauditable;
+    for (const check::Violation& v : tb.byte_oracle->violations()) {
+      arm.violations.push_back(v);
+    }
+  }
+  return arm;
+}
+
+/// A visit whose load hit faults may legitimately drop or re-time
+/// resources; content-set comparison skips it (the oracle still ran).
+bool visit_faulted(const client::PageLoadResult& r) {
+  return r.failed_loads != 0 || r.timeouts_fired != 0 ||
+         r.connection_failures != 0;
+}
+
+/// Compares what `treat` delivered against `base`, visit by visit.
+/// Returns an empty string when equivalent, else the first divergence.
+std::string diff_delivered(const ArmResult& base, const ArmResult& treat,
+                           const std::string& treat_name) {
+  for (std::size_t u = 0; u < base.loads.size(); ++u) {
+    for (std::size_t v = 0; v < base.loads[u].size(); ++v) {
+      const client::PageLoadResult& rb = base.loads[u][v];
+      const client::PageLoadResult& rt = treat.loads[u][v];
+      if (visit_faulted(rb) || visit_faulted(rt)) continue;
+
+      std::map<std::string, const netsim::FetchTrace*> by_url_b, by_url_t;
+      for (const netsim::FetchTrace& t : rb.trace.traces()) {
+        by_url_b[t.url] = &t;
+      }
+      for (const netsim::FetchTrace& t : rt.trace.traces()) {
+        by_url_t[t.url] = &t;
+      }
+      for (const auto& [url, tb] : by_url_b) {
+        const auto it = by_url_t.find(url);
+        if (it == by_url_t.end()) {
+          return str_format("user %zu visit %zu: %s did not deliver %s",
+                            u, v, treat_name.c_str(), url.c_str());
+        }
+        const netsim::FetchTrace* tt = it->second;
+        if (tb->status != 200 || tt->status != 200) continue;
+        if (tb->body_digest == tt->body_digest) continue;
+        // Digest divergence between arms is excused only when each side
+        // is individually correct: fresh at its own serve time, or within
+        // its RFC 9111 freshness allowance. (Catalyst HTML bodies carry
+        // the SW-registration snippet; the oracle's ground-truth
+        // transform folds that in, so a decorated-but-current HTML serve
+        // classifies Fresh and lands here, excused.)
+        auto excused = [](const netsim::FetchTrace* t) {
+          return t->oracle_class == netsim::ServeClass::Fresh ||
+                 t->oracle_class == netsim::ServeClass::AllowedStale;
+        };
+        if (!excused(tb) || !excused(tt)) {
+          return str_format(
+              "user %zu visit %zu: %s delivered different bytes for %s "
+              "(%016llx vs %016llx) without a freshness excuse",
+              u, v, treat_name.c_str(), url.c_str(),
+              static_cast<unsigned long long>(tb->body_digest),
+              static_cast<unsigned long long>(tt->body_digest));
+        }
+      }
+      for (const auto& [url, tt] : by_url_t) {
+        if (!by_url_b.contains(url)) {
+          return str_format("user %zu visit %zu: %s delivered extra %s",
+                            u, v, treat_name.c_str(), url.c_str());
+        }
+      }
+    }
+  }
+  return {};
+}
+
+struct RoundOutcome {
+  bool failed = false;
+  bool violations_caught = false;  // any arm had oracle violations
+  std::string detail;
+  check::OracleStats totals;
+};
+
+RoundOutcome run_round(const RoundConfig& cfg, bool mutate) {
+  RoundOutcome out;
+  struct ArmSpec {
+    const char* name;
+    core::StrategyKind kind;
+    bool edge;
+  };
+  std::vector<ArmSpec> arms = {
+      {"baseline", core::StrategyKind::Baseline, false},
+      {"catalyst", core::StrategyKind::Catalyst, false},
+  };
+  if (cfg.edge) {
+    arms.push_back({"edge", core::StrategyKind::Catalyst, true});
+  }
+
+  std::vector<ArmResult> results;
+  for (const ArmSpec& spec : arms) {
+    results.push_back(run_arm(cfg, spec.kind, spec.edge, mutate));
+    const ArmResult& arm = results.back();
+    out.totals.checked += arm.stats.checked;
+    out.totals.fresh += arm.stats.fresh;
+    out.totals.allowed_stale += arm.stats.allowed_stale;
+    out.totals.violations += arm.stats.violations;
+    out.totals.unauditable += arm.stats.unauditable;
+    if (arm.stats.violations != 0) {
+      out.violations_caught = true;
+      out.failed = true;
+      const check::Violation& v = arm.violations.front();
+      out.detail = str_format(
+          "%s arm: %llu oracle violation(s); first: %s served from %s "
+          "(digest %016llx, origin %016llx)",
+          spec.name,
+          static_cast<unsigned long long>(arm.stats.violations),
+          v.url.c_str(), std::string(netsim::to_string(v.source)).c_str(),
+          static_cast<unsigned long long>(v.served_digest),
+          static_cast<unsigned long long>(v.expected_digest));
+    }
+  }
+  if (out.failed) return out;
+
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    const std::string diff =
+        diff_delivered(results[0], results[i], arms[i].name);
+    if (!diff.empty()) {
+      out.failed = true;
+      out.detail = diff;
+      return out;
+    }
+  }
+  return out;
+}
+
+/// Shrinks a failing config: each step keeps the change only if the round
+/// still fails. Order: cheapest semantic reductions first.
+RoundConfig minimize(RoundConfig cfg, bool mutate) {
+  auto still_fails = [mutate](const RoundConfig& c) {
+    return run_round(c, mutate).failed;
+  };
+  if (cfg.faults) {
+    RoundConfig c = cfg;
+    c.faults = false;
+    if (still_fails(c)) cfg = c;
+  }
+  if (cfg.edge) {
+    RoundConfig c = cfg;
+    c.edge = false;
+    if (still_fails(c)) cfg = c;
+  }
+  if (!cfg.static_site) {
+    RoundConfig c = cfg;
+    c.static_site = true;
+    if (still_fails(c)) cfg = c;
+  }
+  if (cfg.third_party_fraction > 0.0) {
+    RoundConfig c = cfg;
+    c.third_party_fraction = 0.0;
+    if (still_fails(c)) cfg = c;
+  }
+  while (cfg.users.size() > 1) {
+    RoundConfig c = cfg;
+    c.users.pop_back();
+    if (!still_fails(c)) break;
+    cfg = c;
+  }
+  bool shrunk = true;
+  while (shrunk) {
+    shrunk = false;
+    for (DiffUser& du : cfg.users) {
+      if (du.visits.size() <= 2) continue;
+      RoundConfig c = cfg;
+      // Find the matching user in the copy and drop their last visit.
+      c.users[static_cast<std::size_t>(&du - cfg.users.data())]
+          .visits.pop_back();
+      if (still_fails(c)) {
+        cfg = c;
+        shrunk = true;
+        break;
+      }
+    }
+  }
+  return cfg;
+}
+
+/// Renders the repro command line for a (possibly minimized) config.
+std::string repro_command(const RoundConfig& cfg, std::uint64_t base_seed,
+                          bool mutate) {
+  std::string cmd = str_format("tools/difftest --rounds 1 --seed %llu",
+                               static_cast<unsigned long long>(
+                                   cfg.round_seed));
+  (void)base_seed;
+  if (mutate) cmd += " --mutate stale-serve";
+  RoundConfig original = draw_round(cfg.round_seed);
+  if (original.faults && !cfg.faults) cmd += " --no-faults";
+  if (original.edge && !cfg.edge) cmd += " --no-edge";
+  if (!original.static_site && cfg.static_site) cmd += " --static-site";
+  if (original.third_party_fraction > 0.0 &&
+      cfg.third_party_fraction == 0.0) {
+    cmd += " --no-third-party";
+  }
+  if (cfg.users.size() < original.users.size()) {
+    cmd += str_format(" --users %zu", cfg.users.size());
+  }
+  std::size_t max_visits = 0;
+  bool visits_shrunk = false;
+  for (std::size_t u = 0; u < cfg.users.size(); ++u) {
+    max_visits = std::max(max_visits, cfg.users[u].visits.size());
+    if (cfg.users[u].visits.size() < original.users[u].visits.size()) {
+      visits_shrunk = true;
+    }
+  }
+  if (visits_shrunk) cmd += str_format(" --visits %zu", max_visits);
+  return cmd;
+}
+
+/// Applies CLI overrides (used both for reproing a minimized config and
+/// for narrowing exploration).
+void apply_overrides(RoundConfig& cfg, const Args& args) {
+  if (args.has("no-faults")) cfg.faults = false;
+  if (args.has("no-edge")) cfg.edge = false;
+  if (args.has("static-site")) cfg.static_site = true;
+  if (args.has("no-third-party")) cfg.third_party_fraction = 0.0;
+  if (args.has("users")) {
+    const auto n = static_cast<std::size_t>(args.num("users", 1));
+    if (n >= 1 && n < cfg.users.size()) cfg.users.resize(n);
+  }
+  if (args.has("visits")) {
+    const auto n = static_cast<std::size_t>(args.num("visits", 2));
+    for (DiffUser& du : cfg.users) {
+      if (n >= 1 && n < du.visits.size()) du.visits.resize(n);
+    }
+  }
+}
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: difftest --rounds N [--seed S] [--mutate stale-serve]\n"
+      "                [--verbose] [--users N] [--visits N] [--no-faults]\n"
+      "                [--no-edge] [--static-site] [--no-third-party]\n"
+      "\n"
+      "Runs N rounds of randomized differential testing: each round draws\n"
+      "a workload (site x TTL profile x change model x faults x edge) from\n"
+      "seed+round and replays it under Baseline, Catalyst, and Catalyst\n"
+      "behind an edge PoP, all through the byte-equivalence oracle.\n"
+      "Exit 0: no violations and no unexplained content divergence.\n"
+      "With --mutate stale-serve the broken StaleServeStrategy is injected\n"
+      "and the run passes (exit 0) only if the oracle catches it.\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args(argc, argv);
+  if (args.has("help")) {
+    usage();
+    return 0;
+  }
+  const int rounds = static_cast<int>(args.num("rounds", 20));
+  const auto seed = static_cast<std::uint64_t>(args.num("seed", 1));
+  const bool verbose = args.has("verbose");
+  const std::string mutate_name = args.get("mutate", "");
+  if (args.has("mutate") && mutate_name != "stale-serve") {
+    std::fprintf(stderr, "difftest: unknown mutation '%s'\n",
+                 mutate_name.c_str());
+    usage();
+    return 2;
+  }
+  const bool mutate = mutate_name == "stale-serve";
+
+  int failures = 0;
+  std::uint64_t first_catch_seed = 0;
+  check::OracleStats totals;
+  for (int r = 0; r < rounds; ++r) {
+    const std::uint64_t round_seed = seed + static_cast<std::uint64_t>(r);
+    RoundConfig cfg = draw_round(round_seed);
+    apply_overrides(cfg, args);
+    const RoundOutcome out = run_round(cfg, mutate);
+    totals.checked += out.totals.checked;
+    totals.fresh += out.totals.fresh;
+    totals.allowed_stale += out.totals.allowed_stale;
+    totals.violations += out.totals.violations;
+    totals.unauditable += out.totals.unauditable;
+    if (verbose || out.failed) {
+      std::fprintf(stderr,
+                   "round %d (seed %llu): %s — checked %llu, stale-ok "
+                   "%llu, violations %llu\n",
+                   r, static_cast<unsigned long long>(round_seed),
+                   out.failed ? "FAIL" : "ok",
+                   static_cast<unsigned long long>(out.totals.checked),
+                   static_cast<unsigned long long>(
+                       out.totals.allowed_stale),
+                   static_cast<unsigned long long>(out.totals.violations));
+    }
+    if (!out.failed) continue;
+    ++failures;
+    if (first_catch_seed == 0) first_catch_seed = round_seed;
+    std::fprintf(stderr, "  %s\n", out.detail.c_str());
+    if (mutate && out.violations_caught) {
+      // The mutation is supposed to fail; one catching seed is the
+      // deliverable. Minimize it and stop.
+      const RoundConfig minimal = minimize(cfg, mutate);
+      std::printf(
+          "MUTATION CAUGHT: StaleServeStrategy flagged by the oracle\n"
+          "repro: %s\n",
+          repro_command(minimal, seed, mutate).c_str());
+      return 0;
+    }
+    if (!mutate) {
+      const RoundConfig minimal = minimize(cfg, mutate);
+      std::printf("FAILURE (round %d)\n  %s\n  repro: %s\n", r,
+                  out.detail.c_str(),
+                  repro_command(minimal, seed, mutate).c_str());
+    }
+  }
+
+  std::printf(
+      "difftest: %d round(s), %d failure(s); oracle checked %llu "
+      "(fresh %llu, allowed-stale %llu, violations %llu, unauditable "
+      "%llu)\n",
+      rounds, failures, static_cast<unsigned long long>(totals.checked),
+      static_cast<unsigned long long>(totals.fresh),
+      static_cast<unsigned long long>(totals.allowed_stale),
+      static_cast<unsigned long long>(totals.violations),
+      static_cast<unsigned long long>(totals.unauditable));
+  if (mutate) {
+    std::printf("MUTATION SURVIVED: the oracle failed to catch "
+                "StaleServeStrategy in %d round(s)\n", rounds);
+    return 1;
+  }
+  return failures == 0 ? 0 : 1;
+}

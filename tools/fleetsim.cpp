@@ -96,7 +96,13 @@ void usage() {
       "                 output; users map to PoPs by seed + user id)\n"
       "  --edge-capacity-mb M   per-PoP cache budget (default 64)\n"
       "  --edge-origin-rtt-ms R PoP-to-origin RTT (default 30)\n"
-      "  --edge-no-admission    disable TinyLFU admission (plain SLRU)\n");
+      "  --edge-no-admission    disable TinyLFU admission (plain SLRU)\n"
+      "  --oracle       audit every serve against origin ground truth\n"
+      "                 (byte-equivalence oracle; adds an \"oracle\"\n"
+      "                 report section; off by default)\n"
+      "  --trace-users N  record replayable JSONL traces for users 0..N-1\n"
+      "  --trace-out F    write recorded traces to file F (requires\n"
+      "                   --trace-users; '-' for stdout)\n");
 }
 
 }  // namespace
@@ -150,6 +156,12 @@ int main(int argc, char** argv) {
                                      1000.0);
   params.edge.admission = !args.has("edge-no-admission");
 
+  // Correctness oracle + trace recording (default-off; both keep the
+  // default report byte-identical to pre-oracle builds).
+  params.options.byte_oracle = args.has("oracle");
+  params.trace_users =
+      static_cast<std::uint64_t>(args.num("trace-users", 0));
+
   fleet::FleetRunner runner(params, users, threads);
   std::fprintf(stderr, "fleetsim: %llu users, %zu shards, %d thread(s), %s vs %s\n",
                static_cast<unsigned long long>(users), runner.shard_count(),
@@ -173,6 +185,21 @@ int main(int argc, char** argv) {
         std::string(core::to_string(*baseline)).c_str(),
         static_cast<unsigned long long>(params.user_model.master_seed));
     std::printf("%s", report.render_table(title).c_str());
+  }
+  if (params.trace_users > 0 && args.has("trace-out")) {
+    const std::string path = args.get("trace-out", "-");
+    const std::string jsonl = report.traces_jsonl();
+    if (path == "-" || path.empty()) {
+      std::fwrite(jsonl.data(), 1, jsonl.size(), stdout);
+    } else if (std::FILE* f = std::fopen(path.c_str(), "wb")) {
+      std::fwrite(jsonl.data(), 1, jsonl.size(), f);
+      std::fclose(f);
+      std::fprintf(stderr, "fleetsim: wrote %zu trace bytes to %s\n",
+                   jsonl.size(), path.c_str());
+    } else {
+      std::fprintf(stderr, "fleetsim: cannot open %s\n", path.c_str());
+      return 1;
+    }
   }
   std::fprintf(stderr, "fleetsim: %.2f s wall, %.1f users/sec\n", secs,
                secs > 0 ? static_cast<double>(users) / secs : 0.0);

@@ -1,0 +1,64 @@
+#!/usr/bin/env sh
+# Verification ladder for the caching stack. Runs, in order:
+#
+#   1. plain build    — full ctest suite + difftest sweep (clean and
+#                       mutated) + the oracle/report byte-identity checks
+#   2. ASan+UBSan     — oracle- and robustness-labeled tests (fault paths
+#                       are where lifetime bugs hide)
+#   3. TSan           — oracle-, fleet- and edge-labeled tests (trace
+#                       recording and oracle counters ride the fleet's
+#                       shard merge; prove they stay race-free)
+#
+# Usage: tools/run_checks.sh [--fast]
+#   --fast skips the sanitizer stages (plain stage only).
+#
+# Any failure stops the script with a non-zero exit.
+set -eu
+
+cd "$(dirname "$0")/.."
+JOBS="$(nproc 2>/dev/null || echo 2)"
+FAST=0
+[ "${1:-}" = "--fast" ] && FAST=1
+
+echo "== stage 1: plain build + full suite =="
+cmake -B build -S . >/dev/null
+cmake --build build -j"$JOBS"
+ctest --test-dir build --output-on-failure -j"$JOBS"
+
+echo "== stage 1b: differential harness (clean + mutation self-test) =="
+./build/tools/difftest --rounds 50 --seed 1
+./build/tools/difftest --rounds 50 --seed 1 --mutate stale-serve
+
+echo "== stage 1c: oracle-off byte-identity =="
+# With --oracle off the report must not grow an "oracle" section, and
+# must stay bit-identical across thread counts with it on.
+if ./build/tools/fleetsim --users 60 --json 2>/dev/null | grep -q '"oracle"'; then
+  echo "FAIL: oracle section present in an oracle-off report" >&2
+  exit 1
+fi
+./build/tools/fleetsim --users 60 --oracle --trace-users 2 --threads 1 \
+    --json 2>/dev/null > /tmp/oracle_t1.json
+./build/tools/fleetsim --users 60 --oracle --trace-users 2 --threads 8 \
+    --json 2>/dev/null > /tmp/oracle_t8.json
+cmp /tmp/oracle_t1.json /tmp/oracle_t8.json
+
+if [ "$FAST" = 1 ]; then
+  echo "== --fast: skipping sanitizer stages =="
+  exit 0
+fi
+
+echo "== stage 2: ASan+UBSan — oracle + robustness labels =="
+cmake -B build-asan -S . -DCATALYST_SANITIZE=address >/dev/null
+cmake --build build-asan -j"$JOBS" --target \
+    check_oracle_test check_replay_test robustness_test \
+    netsim_faults_test client_retry_test
+ctest --test-dir build-asan --output-on-failure -L 'oracle|robustness'
+
+echo "== stage 3: TSan — oracle + fleet + edge labels =="
+cmake -B build-tsan -S . -DCATALYST_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j"$JOBS" --target \
+    check_replay_test fleet_determinism_test fleet_report_test \
+    fleet_user_model_test edge_tier_test edge_fleet_test
+ctest --test-dir build-tsan --output-on-failure -L 'oracle|fleet|edge'
+
+echo "== all checks passed =="
