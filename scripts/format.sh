@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# clang-format wrapper for this repo (.clang-format at the root).
+#
+#   scripts/format.sh                    format every tracked C++ file
+#   scripts/format.sh --check            fail if any tracked file would change
+#   scripts/format.sh --check-changed R  fail only on misformatted lines
+#                                        that changed since git ref R —
+#                                        the CI mode, so legacy formatting
+#                                        never blocks an unrelated change
+#
+# Exits 0 when clean, 1 on violations, 3 when clang-format is missing.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+CLANG_FORMAT="${CLANG_FORMAT:-clang-format}"
+if ! command -v "$CLANG_FORMAT" >/dev/null 2>&1; then
+  echo "format.sh: $CLANG_FORMAT not found; skipping (install clang-format)" >&2
+  exit 3
+fi
+
+tracked_sources() {
+  git ls-files -- '*.cpp' '*.h' '*.cc' '*.hpp'
+}
+
+mode="${1:-}"
+case "$mode" in
+  "")
+    tracked_sources | xargs -r "$CLANG_FORMAT" -i
+    echo "format.sh: formatted $(tracked_sources | wc -l) files"
+    ;;
+  --check)
+    tracked_sources | xargs -r "$CLANG_FORMAT" --dry-run -Werror
+    echo "format.sh: all tracked files clean"
+    ;;
+  --check-changed)
+    base="${2:?usage: scripts/format.sh --check-changed <git-ref>}"
+    status=0
+    while IFS= read -r file; do
+      [ -f "$file" ] || continue  # deleted in this change
+      # Collect the +start,count hunk headers for this file and turn them
+      # into --lines=a:b flags so only touched lines are judged.
+      lines=()
+      while IFS= read -r hunk; do
+        start="${hunk%%,*}"
+        count="${hunk##*,}"
+        [ "$hunk" = "$start" ] && count=1  # "@@ -x +N @@" form, no comma
+        [ "$count" -eq 0 ] && continue     # pure deletion
+        lines+=("--lines=${start}:$((start + count - 1))")
+      done < <(git diff -U0 "$base" -- "$file" \
+                 | sed -n 's/^@@ .* +\([0-9][0-9,]*\) @@.*/\1/p')
+      [ "${#lines[@]}" -eq 0 ] && continue
+      if ! "$CLANG_FORMAT" --dry-run -Werror "${lines[@]}" "$file"; then
+        status=1
+      fi
+    done < <(git diff --name-only --diff-filter=d "$base" -- \
+               '*.cpp' '*.h' '*.cc' '*.hpp')
+    if [ "$status" -eq 0 ]; then
+      echo "format.sh: changed lines since $base are clean"
+    else
+      echo "format.sh: formatting violations on changed lines (run" \
+           "scripts/format.sh to fix)" >&2
+    fi
+    exit "$status"
+    ;;
+  *)
+    echo "usage: scripts/format.sh [--check | --check-changed <git-ref>]" >&2
+    exit 2
+    ;;
+esac

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Re-records the perf gate in bench/baselines/hotpath.json from a fresh
+# `engine_hotpath --smoke` run on this machine. Run this when a deliberate
+# change moves hot-path throughput (either direction) or when the CI
+# reference hardware changes; commit the updated baseline with the change
+# that moved the number and say why in the commit message.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+JOBS="${JOBS:-$(nproc 2>/dev/null || echo 2)}"
+BASELINE=bench/baselines/hotpath.json
+
+cmake -B "$BUILD_DIR" -S . >/dev/null
+cmake --build "$BUILD_DIR" -j"$JOBS" --target engine_hotpath
+
+out="$(mktemp)"
+"./$BUILD_DIR/bench/engine_hotpath" --smoke --out "$out" >/dev/null
+
+python3 - "$out" "$BASELINE" <<'EOF'
+import json, sys
+
+run_path, baseline_path = sys.argv[1], sys.argv[2]
+with open(run_path) as f:
+    run = json.load(f)
+with open(baseline_path) as f:
+    baseline = json.load(f)
+
+eps = round(run["macro"]["events_per_sec"])
+baseline["gate"]["events_per_sec"] = eps
+with open(baseline_path, "w") as f:
+    json.dump(baseline, f, indent=2)
+    f.write("\n")
+print(f"updated {baseline_path}: gate.events_per_sec = {eps}")
+EOF

@@ -4,58 +4,123 @@ namespace catalyst::cache {
 
 LruStore::LruStore(ByteCount capacity) : capacity_(capacity) {}
 
+void LruStore::unlink(std::uint32_t slot) {
+  Node& node = nodes_[slot];
+  if (node.prev != kNil) {
+    nodes_[node.prev].next = node.next;
+  } else {
+    head_ = node.next;
+  }
+  if (node.next != kNil) {
+    nodes_[node.next].prev = node.prev;
+  } else {
+    tail_ = node.prev;
+  }
+  node.prev = kNil;
+  node.next = kNil;
+}
+
+void LruStore::link_front(std::uint32_t slot) {
+  Node& node = nodes_[slot];
+  node.prev = kNil;
+  node.next = head_;
+  if (head_ != kNil) nodes_[head_].prev = slot;
+  head_ = slot;
+  if (tail_ == kNil) tail_ = slot;
+}
+
+void LruStore::release(std::uint32_t slot) {
+  nodes_[slot].entry = CacheEntry{};  // drop body bytes now, not later
+  nodes_[slot].key = kNoIntern;
+  free_.push_back(slot);
+}
+
 bool LruStore::put(const std::string& key, CacheEntry entry) {
   const ByteCount cost = entry.cost();
   if (cost > capacity_) return false;
-  erase(key);
+  const InternId id = tls_intern().intern(key);
+  if (const std::uint32_t* slot = index_.find(id)) {
+    size_bytes_ -= nodes_[*slot].cost;
+    unlink(*slot);
+    release(*slot);
+    index_.erase(id);
+  }
   evict_to_fit(cost);
-  lru_.push_front(Item{key, std::move(entry), cost});
-  index_[key] = lru_.begin();
+  std::uint32_t slot;
+  if (!free_.empty()) {
+    slot = free_.back();
+    free_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(nodes_.size());
+    nodes_.emplace_back();
+  }
+  Node& node = nodes_[slot];
+  node.entry = std::move(entry);
+  node.cost = cost;
+  node.key = id;
+  link_front(slot);
+  index_.insert_or_assign(id, slot);
   size_bytes_ += cost;
   return true;
 }
 
 CacheEntry* LruStore::get(const std::string& key) {
-  const auto it = index_.find(key);
-  if (it == index_.end()) return nullptr;
-  lru_.splice(lru_.begin(), lru_, it->second);  // move to front
-  return &it->second->entry;
+  const InternId id = tls_intern().find(key);
+  if (id == kNoIntern) return nullptr;
+  const std::uint32_t* slot = index_.find(id);
+  if (slot == nullptr) return nullptr;
+  if (*slot != head_) {  // move to front
+    unlink(*slot);
+    link_front(*slot);
+  }
+  return &nodes_[*slot].entry;
 }
 
 const CacheEntry* LruStore::peek(const std::string& key) const {
-  const auto it = index_.find(key);
-  return it == index_.end() ? nullptr : &it->second->entry;
+  const InternId id = tls_intern().find(key);
+  if (id == kNoIntern) return nullptr;
+  const std::uint32_t* slot = index_.find(id);
+  return slot == nullptr ? nullptr : &nodes_[*slot].entry;
 }
 
 bool LruStore::erase(const std::string& key) {
-  const auto it = index_.find(key);
-  if (it == index_.end()) return false;
-  size_bytes_ -= it->second->cost;
-  lru_.erase(it->second);
-  index_.erase(it);
+  const InternId id = tls_intern().find(key);
+  if (id == kNoIntern) return false;
+  const std::uint32_t* slot = index_.find(id);
+  if (slot == nullptr) return false;
+  size_bytes_ -= nodes_[*slot].cost;
+  unlink(*slot);
+  release(*slot);
+  index_.erase(id);
   return true;
 }
 
 void LruStore::clear() {
-  lru_.clear();
+  nodes_.clear();
+  free_.clear();
   index_.clear();
+  head_ = kNil;
+  tail_ = kNil;
   size_bytes_ = 0;
 }
 
 void LruStore::evict_to_fit(ByteCount incoming_cost) {
-  while (!lru_.empty() && size_bytes_ + incoming_cost > capacity_) {
-    const Item& victim = lru_.back();
-    size_bytes_ -= victim.cost;
-    index_.erase(victim.key);
-    lru_.pop_back();
+  while (tail_ != kNil && size_bytes_ + incoming_cost > capacity_) {
+    const std::uint32_t victim = tail_;
+    size_bytes_ -= nodes_[victim].cost;
+    index_.erase(nodes_[victim].key);
+    unlink(victim);
+    release(victim);
     ++evictions_;
   }
 }
 
 std::vector<std::string> LruStore::keys_mru_order() const {
   std::vector<std::string> out;
-  out.reserve(lru_.size());
-  for (const Item& item : lru_) out.push_back(item.key);
+  out.reserve(index_.size());
+  for (std::uint32_t slot = head_; slot != kNil; slot = nodes_[slot].next) {
+    out.push_back(tls_intern().str(nodes_[slot].key));
+  }
   return out;
 }
 

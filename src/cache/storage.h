@@ -1,14 +1,24 @@
 // Keyed LRU store with byte-cost accounting — the storage engine under
 // both the browser HTTP cache and the Service Worker cache.
+//
+// Internally the store runs on interned keys: every URL key is mapped to
+// a dense InternId (util/intern.h) once, the index is an open-addressing
+// FlatHashMap<InternId, slot>, and entries live in a slab whose slots
+// form an intrusive doubly-linked recency list. A get() is one string
+// hash + one integer probe + four index writes; no tree walk, no list
+// node allocation, no per-operation malloc once the slab is warm. The
+// public API stays string-keyed, so callers and recency semantics are
+// unchanged from the std::list + unordered_map implementation.
 #pragma once
 
-#include <list>
 #include <optional>
 #include <string>
 #include <string_view>
-#include <unordered_map>
+#include <vector>
 
 #include "cache/entry.h"
+#include "util/flat_hash.h"
+#include "util/intern.h"
 #include "util/types.h"
 
 namespace catalyst::cache {
@@ -37,8 +47,8 @@ class LruStore {
   /// victim), or nullopt when empty. Lets layered stores (segmented LRU,
   /// admission filters) pick victims without paying keys_mru_order().
   std::optional<std::string> lru_key() const {
-    if (lru_.empty()) return std::nullopt;
-    return lru_.back().key;
+    if (tail_ == kNil) return std::nullopt;
+    return tls_intern().str(nodes_[tail_].key);
   }
 
   std::size_t entry_count() const { return index_.size(); }
@@ -50,19 +60,29 @@ class LruStore {
   std::vector<std::string> keys_mru_order() const;
 
  private:
-  struct Item {
-    std::string key;
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+
+  struct Node {
     CacheEntry entry;
-    ByteCount cost;
+    ByteCount cost = 0;
+    InternId key = kNoIntern;
+    std::uint32_t prev = kNil;
+    std::uint32_t next = kNil;
   };
 
+  void unlink(std::uint32_t slot);
+  void link_front(std::uint32_t slot);
+  void release(std::uint32_t slot);
   void evict_to_fit(ByteCount incoming_cost);
 
   ByteCount capacity_;
   ByteCount size_bytes_ = 0;
   std::size_t evictions_ = 0;
-  std::list<Item> lru_;  // front = most recent
-  std::unordered_map<std::string, std::list<Item>::iterator> index_;
+  std::vector<Node> nodes_;           // slab; slots recycled via free_
+  std::vector<std::uint32_t> free_;
+  std::uint32_t head_ = kNil;  // most recently used
+  std::uint32_t tail_ = kNil;  // least recently used
+  FlatHashMap<InternId, std::uint32_t> index_;
 };
 
 }  // namespace catalyst::cache

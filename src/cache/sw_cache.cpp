@@ -11,7 +11,7 @@ bool SwCache::put(const std::string& url, http::Response response) {
   }
   if (!response.etag()) return false;
   CacheEntry entry;
-  entry.body_digest = fnv1a64(response.body);
+  entry.body_digest = response.body_digest();
   entry.response = std::move(response);
   if (store_.put(url, std::move(entry))) {
     ++stats_.stores;
@@ -27,7 +27,7 @@ const http::Response* SwCache::match(const std::string& url,
     ++stats_.misses;
     return nullptr;
   }
-  if (entry->body_digest != fnv1a64(entry->response.body)) {
+  if (entry->body_digest != entry->response.body_digest()) {
     // The stored bytes rotted: evict, never serve. The caller falls back
     // to a conditional GET regardless of what the map says.
     ++stats_.integrity_failures;

@@ -95,7 +95,7 @@ netsim::ServeClass ByteOracle::classify(const Url& url,
   }
 
   ++stats_.checked;
-  const std::uint64_t served = fnv1a64(outcome.response.body);
+  const std::uint64_t served = outcome.response.body_digest();
   if (served == fnv1a64(*truth)) {
     ++stats_.fresh;
     return netsim::ServeClass::Fresh;

@@ -62,6 +62,10 @@ struct PageLoadResult {
   std::uint32_t oracle_allowed_stale = 0;
   std::uint32_t oracle_violations = 0;
 
+  /// Simulation-engine events executed to produce this load (perf
+  /// telemetry for bench/engine_hotpath; never serialized into reports).
+  std::uint64_t loop_events = 0;
+
   /// Fault/degradation telemetry — all zero on clean runs.
   std::uint32_t fallback_revalidations = 0;  // SW degraded-mode cond. GETs
   std::uint32_t timeouts_fired = 0;          // request deadlines that fired

@@ -62,8 +62,8 @@ void PageLoader::record(const Url& url, http::ResourceClass rc,
       ++result_.oracle_violations;
       break;
   }
-  netsim::FetchTrace trace;
-  trace.url = url.path_and_query();
+  netsim::FetchTrace& trace = result_.trace.append();
+  url.append_path_and_query(trace.url);
   trace.resource_class = rc;
   trace.start = outcome.start;
   trace.finish = outcome.finish;
@@ -76,13 +76,19 @@ void PageLoader::record(const Url& url, http::ResourceClass rc,
                  ? outcome.response.headers.wire_size() + 19
                  : 0);
   trace.status = http::code(outcome.response.status);
-  trace.body_digest = fnv1a64(outcome.response.body);
+  trace.body_digest = outcome.response.body_digest();
   trace.oracle_class = verdict;
-  result_.trace.record(std::move(trace));
   if (outcome.stale) ++result_.stale_served;
   if (outcome.sw_fallback) ++result_.fallback_revalidations;
   if (http::code(outcome.response.status) >= 500) ++result_.failed_loads;
-  if (outcome.response.status == http::Status::Ok) {
+  // This load's responses seed the Service Worker's install-time precache
+  // (post_onload_sw_registration). Copy them only when registration can
+  // still happen — SW support on and no worker yet — which skips the
+  // per-resource Response copy on baseline runs and on every revisit
+  // after the worker registered, i.e. the vast majority of fetches.
+  if (outcome.response.status == http::Status::Ok &&
+      browser_.config().service_workers_enabled &&
+      !browser_.sw_registered(page_url_.host)) {
     observed_.emplace(url.path, outcome.response);
   }
 }

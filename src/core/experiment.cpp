@@ -67,7 +67,7 @@ client::PageLoadResult run_rdr_visit(Testbed& tb) {
         });
       });
 
-  tb.loop->run();
+  result.loop_events = tb.loop->run();
   if (!done) {
     throw std::logic_error("run_rdr_visit: load did not complete");
   }
@@ -77,12 +77,13 @@ client::PageLoadResult run_rdr_visit(Testbed& tb) {
 }  // namespace
 
 client::PageLoadResult run_visit(Testbed& tb, TimePoint at) {
-  tb.loop->run();  // drain any prior-visit stragglers
+  std::uint64_t events = tb.loop->run();  // drain prior-visit stragglers
   tb.loop->advance_to(at);
 
   if (tb.kind == StrategyKind::RdrProxy) {
     client::PageLoadResult result = run_rdr_visit(tb);
     tb.browser->end_visit();
+    result.loop_events += events;
     return result;
   }
 
@@ -93,11 +94,12 @@ client::PageLoadResult run_visit(Testbed& tb, TimePoint at) {
                           result = std::move(r);
                           done = true;
                         });
-  tb.loop->run();
+  events += tb.loop->run();
   if (!done) {
     throw std::logic_error("run_visit: page load did not complete");
   }
   tb.browser->end_visit();
+  result.loop_events = events;
   return result;
 }
 

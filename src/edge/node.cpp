@@ -55,9 +55,10 @@ void EdgeNode::handle(const http::Request& request,
 
   // Miss or stale: both need the origin. Coalesce with any fill already in
   // flight for this key — that fetch's answer serves everyone.
-  if (const auto it = inflight_.find(key); it != inflight_.end()) {
+  const InternId key_id = tls_intern().intern(key);
+  if (Fill* pending = inflight_.find(key_id)) {
     pop_.note_coalesced();
-    it->second.waiters.push_back(Waiter{request, std::move(respond)});
+    pending->waiters.push_back(Waiter{request, std::move(respond)});
     return;
   }
 
@@ -80,7 +81,7 @@ void EdgeNode::handle(const http::Request& request,
     }
   }
 
-  inflight_.emplace(key, std::move(fill));
+  inflight_.insert_or_assign(key_id, std::move(fill));
   launch_fetch(key, std::move(upstream));
 }
 
@@ -100,15 +101,16 @@ void EdgeNode::on_origin_response(const std::string& key,
                                   http::Response response) {
   const TimePoint now = network_.loop().now();
   pop_.note_origin_response(response.wire_size());
-  const auto it = inflight_.find(key);
-  if (it == inflight_.end()) return;
+  const InternId key_id = tls_intern().find(key);
+  Fill* pending = key_id == kNoIntern ? nullptr : inflight_.find(key_id);
+  if (pending == nullptr) return;
 
   if (response.status == http::Status::NotModified) {
     pop_.note_origin_not_modified();
     if (cache::CacheEntry* entry = pop_.refresh_not_modified(
-            key, response, it->second.request_time, now)) {
-      Fill fill = std::move(it->second);
-      inflight_.erase(it);
+            key, response, pending->request_time, now)) {
+      Fill fill = std::move(*pending);
+      inflight_.erase(key_id);
       for (const Waiter& w : fill.waiters) {
         reply_to_waiter(w, entry->response, Served::Revalidated);
       }
@@ -117,12 +119,12 @@ void EdgeNode::on_origin_response(const std::string& key,
     // The entry was evicted while its conditional was in flight: the 304
     // refers to bytes the edge no longer holds. Refetch in full, keeping
     // the waiter list.
-    if (!it->second.retried) {
-      it->second.retried = true;
-      it->second.request_time = now;
+    if (!pending->retried) {
+      pending->retried = true;
+      pending->request_time = now;
       launch_fetch(key,
                    http::Request::get(
-                       it->second.waiters.front().request.target,
+                       pending->waiters.front().request.target,
                        origin_host_));
       return;
     }
@@ -131,8 +133,8 @@ void EdgeNode::on_origin_response(const std::string& key,
     return;
   }
 
-  Fill fill = std::move(it->second);
-  inflight_.erase(it);
+  Fill fill = std::move(*pending);
+  inflight_.erase(key_id);
   // admit_and_store applies shared-cache policy (no-store/private/
   // uncacheable status) and TinyLFU admission; waiters are served from the
   // origin bytes either way.
@@ -143,10 +145,11 @@ void EdgeNode::on_origin_response(const std::string& key,
 }
 
 void EdgeNode::on_origin_error(const std::string& key) {
-  const auto it = inflight_.find(key);
-  if (it == inflight_.end()) return;
-  Fill fill = std::move(it->second);
-  inflight_.erase(it);
+  const InternId key_id = tls_intern().find(key);
+  Fill* pending = key_id == kNoIntern ? nullptr : inflight_.find(key_id);
+  if (pending == nullptr) return;
+  Fill fill = std::move(*pending);
+  inflight_.erase(key_id);
   pop_.note_origin_error();
   for (const Waiter& w : fill.waiters) {
     pop_.note_miss();

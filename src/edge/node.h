@@ -22,7 +22,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -85,7 +84,8 @@ class EdgeNode {
   EdgePop& pop_;
   netsim::Network& network_;
   std::string origin_host_;
-  std::map<std::string, Fill> inflight_;
+  // Keyed by interned cache key; coalescing lookups happen per request.
+  FlatHashMap<InternId, Fill> inflight_;
   std::unique_ptr<netsim::Connection> origin_conn_;
   std::vector<std::unique_ptr<netsim::Connection>> graveyard_;
 };

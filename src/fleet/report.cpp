@@ -60,6 +60,7 @@ void FleetReport::merge(const FleetReport& other) {
   for (const auto& [pop, stats] : other.edge_pops) {
     edge_pops[pop].merge(stats);
   }
+  events_executed += other.events_executed;
   bytes_on_wire += other.bytes_on_wire;
   baseline_bytes_on_wire += other.baseline_bytes_on_wire;
   rtts += other.rtts;

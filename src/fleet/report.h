@@ -70,6 +70,12 @@ struct FleetReport {
   /// byte-identical to pre-edge builds.
   std::map<int, EdgePopReport> edge_pops;
 
+  /// Simulation-engine events executed across every replayed visit (both
+  /// arms). Perf telemetry for bench/engine_hotpath: merged, but
+  /// deliberately NOT serialized, so reports stay byte-identical across
+  /// builds with different engine internals.
+  std::uint64_t events_executed = 0;
+
   /// Wire totals across all treatment visits, and the same users replayed
   /// under the baseline strategy (zero when no baseline was run).
   ByteCount bytes_on_wire = 0;

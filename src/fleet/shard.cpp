@@ -83,9 +83,11 @@ void Shard::replay_user(const UserProfile& profile, FleetReport& report) {
     const client::PageLoadResult& r = treat[i];
     report.bytes_on_wire += r.bytes_downloaded;
     report.rtts += r.rtts;
+    report.events_executed += r.loop_events;
     if (compare) {
       report.baseline_bytes_on_wire += base[i].bytes_downloaded;
       report.baseline_rtts += base[i].rtts;
+      report.events_executed += base[i].loop_events;
     }
     // Fault tallies cover every treatment visit — cold loads get hit by
     // faults like any other.

@@ -31,6 +31,14 @@ std::vector<CssReference> extract_css_references(std::string_view css) {
   std::vector<CssReference> out;
   std::size_t pos = 0;
   while (pos < css.size()) {
+    // Fast path: every construct we extract opens with '/', '@' or
+    // 'u'/'U' ("/*", "@import", "url("); any other byte cannot start a
+    // match, so skip it without running the prefix comparisons.
+    const char c = css[pos];
+    if (c != '/' && c != '@' && c != 'u' && c != 'U') {
+      ++pos;
+      continue;
+    }
     // Skip comments.
     if (css.substr(pos, 2) == "/*") {
       const auto end = css.find("*/", pos + 2);

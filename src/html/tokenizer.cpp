@@ -152,16 +152,21 @@ Token Tokenizer::lex_doctype() {
 }
 
 Token Tokenizer::lex_raw_text() {
-  // Scan for "</script" / "</style" case-insensitively.
-  const std::string needle = "</" + raw_text_end_tag_;
-  std::size_t search = pos_;
+  // Scan for "</script" / "</style" case-insensitively. The terminator
+  // always starts with a literal "</", so hop between '<' characters
+  // (one find() per '<' in the raw text) instead of running a
+  // case-insensitive compare at every byte position.
+  const std::string& tag = raw_text_end_tag_;
   std::size_t found = std::string_view::npos;
-  while (search + needle.size() <= input_.size()) {
-    if (iequals(input_.substr(search, needle.size()), needle)) {
+  for (std::size_t search = pos_;
+       (search = input_.find('<', search)) != std::string_view::npos;
+       ++search) {
+    if (search + 2 + tag.size() > input_.size()) break;
+    if (input_[search + 1] != '/') continue;
+    if (iequals(input_.substr(search + 2, tag.size()), tag)) {
       found = search;
       break;
     }
-    ++search;
   }
   Token token;
   token.type = Token::Type::Text;

@@ -1,24 +1,46 @@
 #include "http/etag_config.h"
 
+#include <algorithm>
+
 #include "http/headers.h"
 #include "util/json.h"
 
 namespace catalyst::http {
 
 void EtagConfig::add(std::string path, Etag etag) {
-  entries_[std::move(path)] = std::move(etag);
+  const InternId id = tls_intern().intern(path);
+  if (const std::uint32_t* pos = index_.find(id)) {
+    entries_[*pos].etag = std::move(etag);
+    return;
+  }
+  if (!entries_.empty() && path < entries_.back().path) sorted_ = false;
+  index_.insert_or_assign(id, static_cast<std::uint32_t>(entries_.size()));
+  entries_.push_back(Entry{std::move(path), std::move(etag)});
+}
+
+void EtagConfig::ensure_sorted() const {
+  if (sorted_) return;
+  std::sort(entries_.begin(), entries_.end(),
+            [](const Entry& a, const Entry& b) { return a.path < b.path; });
+  for (std::uint32_t i = 0; i < entries_.size(); ++i) {
+    index_.insert_or_assign(tls_intern().intern(entries_[i].path), i);
+  }
+  sorted_ = true;
 }
 
 std::optional<Etag> EtagConfig::find(std::string_view path) const {
-  const auto it = entries_.find(std::string(path));
-  if (it == entries_.end()) return std::nullopt;
-  return it->second;
+  const InternId id = tls_intern().find(path);
+  if (id == kNoIntern) return std::nullopt;
+  const std::uint32_t* pos = index_.find(id);
+  if (pos == nullptr) return std::nullopt;
+  return entries_[*pos].etag;
 }
 
 std::string EtagConfig::encode() const {
+  ensure_sorted();
   Json object = Json::object();
-  for (const auto& [path, etag] : entries_) {
-    object.set(path, Json::string(etag.to_string()));
+  for (const Entry& entry : entries_) {
+    object.set(entry.path, Json::string(entry.etag.to_string()));
   }
   return object.dump();
 }

@@ -3,20 +3,35 @@
 // A JSON object mapping same-origin resource paths to their current entity
 // tags, attached to base-HTML responses. The Service Worker decodes it and
 // serves matching cached resources without any network round trip.
+//
+// Storage: entries sit in a vector sorted by path — encode() must emit
+// keys in sorted order, byte-identically to the std::map implementation —
+// with an interned-key FlatHashMap index backing find(), the per-resource
+// lookup every Service Worker serve performs. Sorting is lazy: adds
+// append, the first sorted read pays one sort.
 #pragma once
 
-#include <map>
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "http/etag.h"
+#include "util/flat_hash.h"
+#include "util/intern.h"
 #include "util/types.h"
 
 namespace catalyst::http {
 
 class EtagConfig {
  public:
+  /// One path → ETag binding. Named members (not std::pair) so existing
+  /// `for (const auto& [path, etag] : config.entries())` keeps compiling.
+  struct Entry {
+    std::string path;
+    Etag etag;
+  };
+
   EtagConfig() = default;
 
   void add(std::string path, Etag etag);
@@ -26,7 +41,12 @@ class EtagConfig {
 
   bool empty() const { return entries_.empty(); }
   std::size_t size() const { return entries_.size(); }
-  const std::map<std::string, Etag>& entries() const { return entries_; }
+
+  /// Entries sorted by path (the encode()/wire order).
+  const std::vector<Entry>& entries() const {
+    ensure_sorted();
+    return entries_;
+  }
 
   /// Serializes to the header value (compact JSON object
   /// {"/a.css":"W/\"abc\"", ...}).
@@ -41,7 +61,13 @@ class EtagConfig {
   ByteCount header_wire_size() const;
 
  private:
-  std::map<std::string, Etag> entries_;
+  void ensure_sorted() const;
+
+  // Sorted by path once ensure_sorted() ran; appended unsorted by add().
+  // mutable: sorting is a cache-consistency detail of the accessors.
+  mutable std::vector<Entry> entries_;
+  mutable FlatHashMap<InternId, std::uint32_t> index_;
+  mutable bool sorted_ = true;
 };
 
 }  // namespace catalyst::http

@@ -21,14 +21,14 @@ bool StreamTable::reserve_pushed(std::uint32_t promised_id) {
 }
 
 void StreamTable::half_close_local(std::uint32_t id) {
-  auto it = streams_.find(id);
-  if (it == streams_.end()) return;
-  switch (it->second) {
+  StreamState* state = streams_.find(id);
+  if (state == nullptr) return;
+  switch (*state) {
     case StreamState::Open:
-      it->second = StreamState::HalfClosedLocal;
+      *state = StreamState::HalfClosedLocal;
       break;
     case StreamState::HalfClosedRemote:
-      it->second = StreamState::Closed;
+      *state = StreamState::Closed;
       break;
     default:
       break;
@@ -36,18 +36,18 @@ void StreamTable::half_close_local(std::uint32_t id) {
 }
 
 void StreamTable::half_close_remote(std::uint32_t id) {
-  auto it = streams_.find(id);
-  if (it == streams_.end()) return;
-  switch (it->second) {
+  StreamState* state = streams_.find(id);
+  if (state == nullptr) return;
+  switch (*state) {
     case StreamState::Open:
-      it->second = StreamState::HalfClosedRemote;
+      *state = StreamState::HalfClosedRemote;
       break;
     case StreamState::ReservedRemote:
       // The pushed response completed.
-      it->second = StreamState::Closed;
+      *state = StreamState::Closed;
       break;
     case StreamState::HalfClosedLocal:
-      it->second = StreamState::Closed;
+      *state = StreamState::Closed;
       break;
     default:
       break;
@@ -55,20 +55,19 @@ void StreamTable::half_close_remote(std::uint32_t id) {
 }
 
 void StreamTable::close(std::uint32_t id) {
-  auto it = streams_.find(id);
-  if (it != streams_.end()) it->second = StreamState::Closed;
+  if (StreamState* state = streams_.find(id)) *state = StreamState::Closed;
 }
 
 StreamState StreamTable::state(std::uint32_t id) const {
-  const auto it = streams_.find(id);
-  return it == streams_.end() ? StreamState::Idle : it->second;
+  const StreamState* state = streams_.find(id);
+  return state == nullptr ? StreamState::Idle : *state;
 }
 
 std::size_t StreamTable::open_count() const {
   std::size_t n = 0;
-  for (const auto& [id, state] : streams_) {
+  streams_.for_each([&n](std::uint32_t, StreamState state) {
     if (state != StreamState::Closed && state != StreamState::Idle) ++n;
-  }
+  });
   return n;
 }
 

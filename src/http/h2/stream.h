@@ -7,8 +7,9 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <optional>
+
+#include "util/flat_hash.h"
 
 namespace catalyst::http::h2 {
 
@@ -50,7 +51,9 @@ class StreamTable {
   bool is_client_;
   std::uint32_t next_own_id_ = 0;      // lazily initialized on first open
   std::uint32_t max_seen_even_ = 0;
-  std::map<std::uint32_t, StreamState> streams_;
+  // Per-request lookups dominate; stream-id order never matters (the
+  // only iteration, open_count, just tallies states).
+  catalyst::FlatHashMap<std::uint32_t, StreamState> streams_;
 };
 
 }  // namespace catalyst::http::h2

@@ -7,6 +7,7 @@
 // wire size.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -16,6 +17,7 @@
 #include "http/headers.h"
 #include "http/method.h"
 #include "http/status.h"
+#include "util/hash.h"
 #include "util/types.h"
 
 namespace catalyst::http {
@@ -63,8 +65,39 @@ class Response {
   /// Parsed ETag header, if present and well-formed.
   std::optional<Etag> etag() const;
 
+  /// FNV-1a digest of `body`, memoized. Replay traces, the Service Worker
+  /// integrity check and the byte-equivalence oracle all digest response
+  /// bodies, and a body is typically digested several times as the
+  /// response travels origin → caches → client; the memo (which copies
+  /// travel with the response) makes every digest after the first free.
+  /// The cache revalidates on body-size change, which covers every write
+  /// pattern in the simulator (bodies are assigned whole, before first
+  /// digest); a same-length in-place rewrite after a digest call would
+  /// have to call prime_body_digest() — no such writer exists.
+  std::uint64_t body_digest() const {
+    if (!digest_valid_ || digest_size_ != body.size()) {
+      digest_ = fnv1a64(body);
+      digest_size_ = body.size();
+      digest_valid_ = true;
+    }
+    return digest_;
+  }
+
+  /// Seeds the digest memo with an externally computed value (e.g. the
+  /// origin's per-version content digest). Precondition: d == fnv1a64(body).
+  void prime_body_digest(std::uint64_t d) const {
+    digest_ = d;
+    digest_size_ = body.size();
+    digest_valid_ = true;
+  }
+
   /// Sets Content-Length from the wire body size and Date from `now`.
   void finalize(TimePoint now);
+
+ private:
+  mutable std::uint64_t digest_ = 0;
+  mutable ByteCount digest_size_ = 0;
+  mutable bool digest_valid_ = false;
 };
 
 }  // namespace catalyst::http

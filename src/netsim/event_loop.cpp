@@ -1,14 +1,16 @@
 #include "netsim/event_loop.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace catalyst::netsim {
 
 EventId EventLoop::schedule_at(TimePoint when, std::function<void()> fn) {
   if (when < now_) when = now_;
-  const EventId id = next_id_++;
-  queue_.push(Event{when, next_seq_++, id});
-  callbacks_.emplace(id, std::move(fn));
+  const EventId id = pool_.acquire();
+  *pool_.get(id) = std::move(fn);
+  heap_.push_back(Entry{when, next_seq_++, id});
+  std::push_heap(heap_.begin(), heap_.end());
   return id;
 }
 
@@ -18,22 +20,23 @@ EventId EventLoop::schedule_after(Duration delay, std::function<void()> fn) {
 }
 
 void EventLoop::cancel(EventId id) {
-  if (callbacks_.erase(id) > 0) cancelled_.insert(id);
+  // Releasing makes the handle stale; the heap entry is skipped lazily
+  // when it reaches the top. Stale/unknown ids are a no-op.
+  pool_.release(id);
 }
 
 bool EventLoop::pop_one() {
-  while (!queue_.empty()) {
-    Event ev = queue_.top();
-    queue_.pop();
-    if (const auto c = cancelled_.find(ev.id); c != cancelled_.end()) {
-      cancelled_.erase(c);
-      continue;
-    }
-    const auto it = callbacks_.find(ev.id);
-    if (it == callbacks_.end()) continue;  // defensive; should not happen
-    std::function<void()> fn = std::move(it->second);
-    callbacks_.erase(it);
-    now_ = ev.when;
+  while (!heap_.empty()) {
+    const Entry top = heap_.front();
+    std::pop_heap(heap_.begin(), heap_.end());
+    heap_.pop_back();
+    std::function<void()>* slot = pool_.get(top.id);
+    if (slot == nullptr) continue;  // cancelled
+    // Move the callback out and free its slot before running: the
+    // callback may schedule (growing the slab) or cancel.
+    std::function<void()> fn = std::move(*slot);
+    pool_.release(top.id);
+    now_ = top.when;
     fn();
     return true;
   }
@@ -48,11 +51,11 @@ std::size_t EventLoop::run() {
 
 std::size_t EventLoop::run_until(TimePoint deadline) {
   std::size_t executed = 0;
-  while (!queue_.empty()) {
-    const Event& top = queue_.top();
-    if (cancelled_.contains(top.id)) {
-      cancelled_.erase(top.id);
-      queue_.pop();
+  while (!heap_.empty()) {
+    const Entry& top = heap_.front();
+    if (pool_.get(top.id) == nullptr) {  // cancelled: drop and rescan
+      std::pop_heap(heap_.begin(), heap_.end());
+      heap_.pop_back();
       continue;
     }
     if (top.when > deadline) break;
@@ -66,6 +69,7 @@ void EventLoop::advance_to(TimePoint when) {
   if (pending() != 0) {
     throw std::logic_error("EventLoop::advance_to with pending events");
   }
+  heap_.clear();  // only stale entries can remain; drop them
   if (when > now_) now_ = when;
 }
 

@@ -3,20 +3,28 @@
 // on this loop, which makes whole-page loads deterministic and lets
 // experiments "advance the system clock" between visits exactly like the
 // paper does for its revisit delays.
+//
+// Engine layout: callbacks live in a SlabPool (one recycled slot per
+// in-flight event, zero steady-state allocation) and the ready queue is a
+// flat binary heap of {when, seq, handle} triples. The pool's generation
+// check gives O(1) cancel — a cancelled event's handle goes stale, and
+// the heap simply skips stale entries when they surface at the top. This
+// replaced a priority_queue plus unordered_map of callbacks plus
+// unordered_set of cancelled ids; ordering ((when, seq), i.e. scheduling
+// order within a timestamp) is identical, which the golden traces verify.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "util/pool.h"
 #include "util/types.h"
 
 namespace catalyst::netsim {
 
-/// Handle for cancelling a scheduled event.
+/// Handle for cancelling a scheduled event. Generation-tagged: ids are
+/// never reused, so holding one past execution is safe.
 using EventId = std::uint64_t;
 
 /// Virtual-time event loop. Events at equal times run in scheduling order
@@ -52,16 +60,17 @@ class EventLoop {
   /// queue; throws otherwise). Used to simulate time between page visits.
   void advance_to(TimePoint when);
 
-  bool empty() const { return queue_.size() == cancelled_.size(); }
-  std::size_t pending() const { return queue_.size() - cancelled_.size(); }
+  bool empty() const { return pool_.live() == 0; }
+  std::size_t pending() const { return pool_.live(); }
 
  private:
-  struct Event {
+  struct Entry {
     TimePoint when;
     std::uint64_t seq;
     EventId id;
-    // Ordering for a max-heap turned min-heap: later time = lower priority.
-    bool operator<(const Event& other) const {
+    // Min-heap via std::push_heap's max-heap order: later time (or later
+    // seq at equal time) compares less, so the earliest event surfaces.
+    bool operator<(const Entry& other) const {
       if (when != other.when) return when > other.when;
       return seq > other.seq;
     }
@@ -71,11 +80,8 @@ class EventLoop {
 
   TimePoint now_{};
   std::uint64_t next_seq_ = 0;
-  EventId next_id_ = 1;
-  std::priority_queue<Event> queue_;
-  std::unordered_set<EventId> cancelled_;
-  // Callbacks stored out-of-line so Event stays trivially movable.
-  std::unordered_map<EventId, std::function<void()>> callbacks_;
+  std::vector<Entry> heap_;
+  SlabPool<std::function<void()>> pool_;
 };
 
 }  // namespace catalyst::netsim

@@ -4,6 +4,17 @@
 
 namespace catalyst::netsim {
 
+namespace {
+
+/// Order-independent key for an (a, b) host pair.
+std::uint64_t pair_key(InternId a, InternId b) {
+  const InternId lo = a < b ? a : b;
+  const InternId hi = a < b ? b : a;
+  return (static_cast<std::uint64_t>(lo) << 32) | hi;
+}
+
+}  // namespace
+
 Host::Host(EventLoop& loop, std::string name, const HostSpec& spec)
     : name_(std::move(name)),
       uplink_(std::make_unique<Link>(loop, name_ + ":up", spec.uplink)),
@@ -11,43 +22,45 @@ Host::Host(EventLoop& loop, std::string name, const HostSpec& spec)
 }
 
 Host& Network::add_host(const std::string& name, const HostSpec& spec) {
-  if (hosts_.contains(name)) {
+  const HostId id = tls_intern().intern(name);
+  if (hosts_.contains(id)) {
     throw std::invalid_argument("Network: duplicate host " + name);
   }
   auto host = std::make_unique<Host>(loop_, name, spec);
   Host& ref = *host;
-  hosts_.emplace(name, std::move(host));
+  hosts_.insert_or_assign(id, std::move(host));
   return ref;
 }
 
 Host& Network::host(const std::string& name) {
-  const auto it = hosts_.find(name);
-  if (it == hosts_.end()) {
-    throw std::out_of_range("Network: unknown host " + name);
+  const HostId id = tls_intern().find(name);
+  if (id != kNoIntern) {
+    if (auto* host = hosts_.find(id)) return **host;
   }
-  return *it->second;
+  throw std::out_of_range("Network: unknown host " + name);
 }
 
 bool Network::has_host(const std::string& name) const {
-  return hosts_.contains(name);
+  const HostId id = tls_intern().find(name);
+  return id != kNoIntern && hosts_.contains(id);
 }
 
 void Network::set_rtt(const std::string& a, const std::string& b,
                       Duration rtt) {
-  if (!hosts_.contains(a) || !hosts_.contains(b)) {
+  if (!has_host(a) || !has_host(b)) {
     throw std::out_of_range("Network: set_rtt on unknown host");
   }
-  const auto key = a < b ? std::make_pair(a, b) : std::make_pair(b, a);
-  rtts_[key] = rtt;
+  rtts_.insert_or_assign(
+      pair_key(tls_intern().intern(a), tls_intern().intern(b)), rtt);
 }
 
 Duration Network::rtt(const std::string& a, const std::string& b) const {
-  const auto key = a < b ? std::make_pair(a, b) : std::make_pair(b, a);
-  const auto it = rtts_.find(key);
-  if (it == rtts_.end()) {
-    throw std::out_of_range("Network: no RTT configured for " + a + "<->" + b);
+  const InternId ia = tls_intern().find(a);
+  const InternId ib = tls_intern().find(b);
+  if (ia != kNoIntern && ib != kNoIntern) {
+    if (const Duration* d = rtts_.find(pair_key(ia, ib))) return *d;
   }
-  return it->second;
+  throw std::out_of_range("Network: no RTT configured for " + a + "<->" + b);
 }
 
 void Network::send_bytes(const std::string& from, const std::string& to,

@@ -8,7 +8,6 @@
 #pragma once
 
 #include <functional>
-#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -17,6 +16,8 @@
 #include "http/message.h"
 #include "netsim/event_loop.h"
 #include "netsim/link.h"
+#include "util/flat_hash.h"
+#include "util/intern.h"
 #include "util/types.h"
 
 namespace catalyst::netsim {
@@ -118,8 +119,11 @@ class Network {
 
  private:
   EventLoop& loop_;
-  std::map<std::string, std::unique_ptr<Host>> hosts_;
-  std::map<std::pair<std::string, std::string>, Duration> rtts_;
+  // Host names are interned once; every per-request host()/rtt() lookup
+  // is then an integer flat-hash probe instead of a string tree walk.
+  FlatHashMap<HostId, std::unique_ptr<Host>> hosts_;
+  // Symmetric pair key: (lower id << 32) | higher id.
+  FlatHashMap<std::uint64_t, Duration> rtts_;
   bool model_slow_start_ = false;
   Duration dns_lookup_ = Duration::zero();
   ByteCount total_bytes_ = 0;

@@ -56,6 +56,11 @@ struct FetchTrace {
 class TraceLog {
  public:
   void record(FetchTrace trace) { traces_.push_back(std::move(trace)); }
+
+  /// Appends a default-constructed trace and returns it for in-place
+  /// fill — the hot-path form: no intermediate FetchTrace, no string
+  /// moves (write `url` directly into the slot).
+  FetchTrace& append() { return traces_.emplace_back(); }
   void clear() { traces_.clear(); }
 
   const std::vector<FetchTrace>& traces() const { return traces_; }

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/hash.h"
+
 namespace catalyst::server {
 
 Resource::Resource(std::string path, http::ResourceClass resource_class,
@@ -25,11 +27,16 @@ const Resource::VersionData& Resource::materialize(
   VersionData data;
   data.content = generator_(version);
   data.etag = http::make_content_etag(data.content);
+  data.content_digest = fnv1a64(data.content);
   return versions_.emplace(version, std::move(data)).first->second;
 }
 
 const std::string& Resource::content_at(TimePoint t) const {
   return materialize(version_at(t)).content;
+}
+
+std::uint64_t Resource::content_digest_at(TimePoint t) const {
+  return materialize(version_at(t)).content_digest;
 }
 
 const http::Etag& Resource::etag_at(TimePoint t) const {

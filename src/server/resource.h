@@ -47,6 +47,11 @@ class Resource {
   /// Body content at time t (memoized per version).
   const std::string& content_at(TimePoint t) const;
 
+  /// FNV-1a digest of content_at(t) (memoized per version): lets serve
+  /// paths prime http::Response::body_digest() so each distinct body is
+  /// digested once per origin lifetime, not once per serve.
+  std::uint64_t content_digest_at(TimePoint t) const;
+
   /// Entity tag at time t (derived from content, memoized per version).
   const http::Etag& etag_at(TimePoint t) const;
 
@@ -59,6 +64,7 @@ class Resource {
   struct VersionData {
     std::string content;
     http::Etag etag;
+    std::uint64_t content_digest = 0;
   };
 
   const VersionData& materialize(std::uint64_t version) const;

@@ -1,32 +1,52 @@
 #include "server/site.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace catalyst::server {
 
 Resource& Site::add_resource(std::unique_ptr<Resource> resource) {
-  const std::string path = resource->path();
-  auto [it, inserted] = resources_.emplace(path, std::move(resource));
-  if (!inserted) {
+  const std::string& path = resource->path();
+  const InternId id = tls_intern().intern(path);
+  if (index_.contains(id)) {
     throw std::invalid_argument("Site: duplicate resource " + path);
   }
-  return *it->second;
+  // Appending may break path order; resources() restores it lazily. The
+  // returned reference is heap-stable across both growth and sorting.
+  if (!entries_.empty() && path < entries_.back().path) sorted_ = false;
+  index_.insert_or_assign(id, static_cast<std::uint32_t>(entries_.size()));
+  entries_.push_back(Entry{path, std::move(resource)});
+  return *entries_.back().resource;
+}
+
+void Site::ensure_sorted() const {
+  if (sorted_) return;
+  std::sort(entries_.begin(), entries_.end(),
+            [](const Entry& a, const Entry& b) { return a.path < b.path; });
+  for (std::uint32_t i = 0; i < entries_.size(); ++i) {
+    index_.insert_or_assign(tls_intern().intern(entries_[i].path), i);
+  }
+  sorted_ = true;
 }
 
 const Resource* Site::find(const std::string& path) const {
-  const auto it = resources_.find(path);
-  return it == resources_.end() ? nullptr : it->second.get();
+  const InternId id = tls_intern().find(path);
+  if (id == kNoIntern) return nullptr;
+  const std::uint32_t* pos = index_.find(id);
+  return pos == nullptr ? nullptr : entries_[*pos].resource.get();
 }
 
 Resource* Site::find(const std::string& path) {
-  const auto it = resources_.find(path);
-  return it == resources_.end() ? nullptr : it->second.get();
+  const InternId id = tls_intern().find(path);
+  if (id == kNoIntern) return nullptr;
+  const std::uint32_t* pos = index_.find(id);
+  return pos == nullptr ? nullptr : entries_[*pos].resource.get();
 }
 
 ByteCount Site::total_bytes() const {
   ByteCount total = 0;
-  for (const auto& [path, resource] : resources_) {
-    total += resource->wire_size();
+  for (const Entry& entry : entries_) {
+    total += entry.resource->wire_size();
   }
   return total;
 }

@@ -50,6 +50,7 @@ http::Response StaticHandler::handle(const http::Request& request,
   ++stats_.full_responses;
   http::Response resp = http::Response::make(http::Status::Ok);
   resp.body = resource->content_at(now);
+  resp.prime_body_digest(resource->content_digest_at(now));
   // Opaque classes declare a larger wire size than the stand-in content.
   if (resource->wire_size() > resp.body.size()) {
     resp.declared_body_size = resource->wire_size();

@@ -1,0 +1,57 @@
+#include "util/intern.h"
+
+namespace catalyst {
+
+namespace {
+constexpr std::size_t kInitialSlots = 256;  // power of two
+}  // namespace
+
+InternTable::InternTable() : slots_(kInitialSlots, 0) {}
+
+InternId InternTable::intern(std::string_view s) {
+  const std::uint64_t h = fnv1a64(s);
+  std::size_t idx = static_cast<std::size_t>(h) & mask();
+  for (;;) {
+    const std::uint32_t slot = slots_[idx];
+    if (slot == 0) break;  // empty: not present
+    const InternId id = slot - 1;
+    if (hashes_[id] == h && strings_[id] == s) return id;
+    idx = (idx + 1) & mask();
+  }
+  const auto id = static_cast<InternId>(strings_.size());
+  strings_.emplace_back(s);
+  hashes_.push_back(h);
+  slots_[idx] = id + 1;
+  if ((strings_.size() + 1) * 4 >= slots_.size() * 3) grow();
+  return id;
+}
+
+InternId InternTable::find(std::string_view s) const {
+  const std::uint64_t h = fnv1a64(s);
+  std::size_t idx = static_cast<std::size_t>(h) & mask();
+  for (;;) {
+    const std::uint32_t slot = slots_[idx];
+    if (slot == 0) return kNoIntern;
+    const InternId id = slot - 1;
+    if (hashes_[id] == h && strings_[id] == s) return id;
+    idx = (idx + 1) & mask();
+  }
+}
+
+void InternTable::grow() {
+  std::vector<std::uint32_t> fresh(slots_.size() * 2, 0);
+  const std::size_t m = fresh.size() - 1;
+  for (InternId id = 0; id < strings_.size(); ++id) {
+    std::size_t idx = static_cast<std::size_t>(hashes_[id]) & m;
+    while (fresh[idx] != 0) idx = (idx + 1) & m;
+    fresh[idx] = id + 1;
+  }
+  slots_ = std::move(fresh);
+}
+
+InternTable& tls_intern() {
+  thread_local InternTable table;
+  return table;
+}
+
+}  // namespace catalyst

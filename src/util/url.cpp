@@ -175,12 +175,21 @@ bool Url::same_origin(const Url& other) const {
 }
 
 std::string Url::path_and_query() const {
-  std::string out = path.empty() ? "/" : path;
+  std::string out;
+  append_path_and_query(out);
+  return out;
+}
+
+void Url::append_path_and_query(std::string& out) const {
+  if (path.empty()) {
+    out.push_back('/');
+  } else {
+    out.append(path);
+  }
   if (!query.empty()) {
     out.push_back('?');
     out.append(query);
   }
-  return out;
 }
 
 std::string Url::to_string() const {

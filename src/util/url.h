@@ -45,6 +45,9 @@ struct Url {
   /// cache key within an origin.
   std::string path_and_query() const;
 
+  /// Appends path_and_query() to `out` without a temporary string.
+  void append_path_and_query(std::string& out) const;
+
   /// Full serialization.
   std::string to_string() const;
 

@@ -1,8 +1,12 @@
 #include "workload/distributions.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <stdexcept>
+#include <vector>
+
+#include "util/flat_hash.h"
 
 namespace catalyst::workload {
 
@@ -12,6 +16,34 @@ ByteCount clamp_size(double bytes, ByteCount lo, ByteCount hi) {
   const double clamped =
       std::clamp(bytes, static_cast<double>(lo), static_cast<double>(hi));
   return static_cast<ByteCount>(clamped);
+}
+
+/// Precomputed Zipf weight table for one (n, s) pair. `weights[k]` and
+/// `total` hold the exact doubles the original per-draw loop produced
+/// (same pow calls, same ascending-k summation order), so draws against
+/// the table are bit-identical to recomputing from scratch.
+struct ZipfTable {
+  std::vector<double> weights;
+  double total = 0.0;
+};
+
+const ZipfTable& zipf_table(std::size_t n, double s) {
+  // Keyed by (n, exact bits of s). Thread-local like every other engine
+  // cache: sharded fleet replay never shares workload state across
+  // threads, and the table contents are a pure function of (n, s) so
+  // per-thread duplicates cannot diverge.
+  thread_local FlatHashMap<std::uint64_t, ZipfTable> tables;
+  const std::uint64_t key =
+      mix_u64(static_cast<std::uint64_t>(n)) ^ std::bit_cast<std::uint64_t>(s);
+  ZipfTable& table = tables[key];
+  if (table.weights.empty()) {
+    table.weights.resize(n);
+    for (std::size_t k = 0; k < n; ++k) {
+      table.weights[k] = std::pow(static_cast<double>(k + 1), -s);
+      table.total += table.weights[k];
+    }
+  }
+  return table;
 }
 
 }  // namespace
@@ -80,13 +112,14 @@ Duration draw_change_interval(http::ResourceClass resource_class,
 
 std::size_t draw_zipf_rank(std::size_t n, double s, Rng& rng) {
   if (n == 0) throw std::invalid_argument("draw_zipf_rank: n == 0");
-  double total = 0.0;
+  // One pow() per rank per (n, s) pair for the whole run, instead of 2n
+  // pow() calls per draw. The linear subtraction scan is kept as-is
+  // (same doubles, same order) so every drawn rank is bit-identical to
+  // the unbatched implementation.
+  const ZipfTable& table = zipf_table(n, s);
+  double target = rng.next_double() * table.total;
   for (std::size_t k = 0; k < n; ++k) {
-    total += std::pow(static_cast<double>(k + 1), -s);
-  }
-  double target = rng.next_double() * total;
-  for (std::size_t k = 0; k < n; ++k) {
-    const double w = std::pow(static_cast<double>(k + 1), -s);
+    const double w = table.weights[k];
     if (target < w) return k;
     target -= w;
   }

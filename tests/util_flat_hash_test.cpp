@@ -1,0 +1,112 @@
+#include "util/flat_hash.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace catalyst {
+namespace {
+
+TEST(FlatHashMap, InsertFindErase) {
+  FlatHashMap<std::uint32_t, std::string> m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_TRUE(m.insert_or_assign(7, "seven"));
+  EXPECT_FALSE(m.insert_or_assign(7, "SEVEN"));  // overwrite, not insert
+  ASSERT_NE(m.find(7), nullptr);
+  EXPECT_EQ(*m.find(7), "SEVEN");
+  EXPECT_EQ(m.find(8), nullptr);
+  EXPECT_TRUE(m.erase(7));
+  EXPECT_FALSE(m.erase(7));
+  EXPECT_EQ(m.find(7), nullptr);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(FlatHashMap, SubscriptDefaultConstructs) {
+  FlatHashMap<std::uint32_t, std::uint64_t> m;
+  EXPECT_EQ(m[42], 0u);
+  m[42] += 5;
+  EXPECT_EQ(m[42], 5u);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(FlatHashMap, SurvivesGrowthAndMatchesStdMap) {
+  FlatHashMap<std::uint64_t, std::uint64_t> m;
+  std::map<std::uint64_t, std::uint64_t> ref;
+  std::mt19937_64 rng(2024);
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t k = rng() % 4096;
+    switch (rng() % 3) {
+      case 0:
+        m.insert_or_assign(k, static_cast<std::uint64_t>(i));
+        ref[k] = static_cast<std::uint64_t>(i);
+        break;
+      case 1: {
+        const bool erased_flat = m.erase(k);
+        const bool erased_ref = ref.erase(k) > 0;
+        EXPECT_EQ(erased_flat, erased_ref);
+        break;
+      }
+      default: {
+        const auto* v = m.find(k);
+        const auto it = ref.find(k);
+        ASSERT_EQ(v != nullptr, it != ref.end());
+        if (v != nullptr) EXPECT_EQ(*v, it->second);
+      }
+    }
+  }
+  EXPECT_EQ(m.size(), ref.size());
+  std::size_t visited = 0;
+  m.for_each([&](std::uint64_t k, std::uint64_t v) {
+    ++visited;
+    const auto it = ref.find(k);
+    ASSERT_NE(it, ref.end());
+    EXPECT_EQ(v, it->second);
+  });
+  EXPECT_EQ(visited, ref.size());
+}
+
+TEST(FlatHashMap, TombstoneChurnDoesNotGrowUnbounded) {
+  FlatHashMap<std::uint64_t, std::uint64_t> m;
+  // Insert/erase the same small working set far more times than any
+  // reasonable capacity: tombstone recycling must keep the table small.
+  for (std::uint64_t round = 0; round < 10000; ++round) {
+    for (std::uint64_t k = 0; k < 8; ++k) m.insert_or_assign(k, round);
+    for (std::uint64_t k = 0; k < 8; ++k) m.erase(k);
+  }
+  EXPECT_TRUE(m.empty());
+  EXPECT_LE(m.capacity(), 64u);
+}
+
+TEST(FlatHashMap, ReserveAvoidsRehash) {
+  FlatHashMap<std::uint32_t, std::uint32_t> m;
+  m.reserve(1000);
+  const std::size_t cap = m.capacity();
+  for (std::uint32_t i = 0; i < 1000; ++i) m.insert_or_assign(i, i);
+  EXPECT_EQ(m.capacity(), cap);
+}
+
+TEST(FlatHashMap, StringKeysWork) {
+  FlatHashMap<std::string, int> m;
+  m.insert_or_assign("/index.html", 1);
+  m.insert_or_assign("/app.js", 2);
+  ASSERT_NE(m.find("/index.html"), nullptr);
+  EXPECT_EQ(*m.find("/index.html"), 1);
+  EXPECT_FALSE(m.contains("/missing"));
+}
+
+TEST(FlatHashMap, ClearReleasesEntries) {
+  FlatHashMap<int, std::string> m;
+  for (int i = 0; i < 100; ++i) m.insert_or_assign(i, "v");
+  m.clear();
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.find(5), nullptr);
+  m.insert_or_assign(5, "again");
+  EXPECT_EQ(m.size(), 1u);
+}
+
+}  // namespace
+}  // namespace catalyst

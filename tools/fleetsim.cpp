@@ -201,7 +201,10 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
-  std::fprintf(stderr, "fleetsim: %.2f s wall, %.1f users/sec\n", secs,
-               secs > 0 ? static_cast<double>(users) / secs : 0.0);
+  std::fprintf(stderr,
+               "fleetsim: %.2f s wall, %.1f users/sec, %.0f events/sec\n",
+               secs, secs > 0 ? static_cast<double>(users) / secs : 0.0,
+               secs > 0 ? static_cast<double>(report.events_executed) / secs
+                        : 0.0);
   return 0;
 }

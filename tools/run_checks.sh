@@ -1,64 +1,126 @@
-#!/usr/bin/env sh
-# Verification ladder for the caching stack. Runs, in order:
+#!/usr/bin/env bash
+# Verification ladder for the caching stack — the single entrypoint both
+# local runs and CI jobs use (each .github/workflows/ci.yml job invokes
+# one stage, so passing CI and a local `tools/run_checks.sh` are the same
+# checks by construction).
 #
-#   1. plain build    — full ctest suite + difftest sweep (clean and
-#                       mutated) + the oracle/report byte-identity checks
-#   2. ASan+UBSan     — oracle- and robustness-labeled tests (fault paths
-#                       are where lifetime bugs hide)
-#   3. TSan           — oracle-, fleet- and edge-labeled tests (trace
-#                       recording and oracle counters ride the fleet's
-#                       shard merge; prove they stay race-free)
+# Stages:
 #
-# Usage: tools/run_checks.sh [--fast]
-#   --fast skips the sanitizer stages (plain stage only).
+#   plain   — full build + complete ctest suite (includes oracle label)
+#   diff    — differential harness sweep (clean + mutation self-test) and
+#             the oracle-off / cross-thread byte-identity checks
+#   perf    — engine_hotpath --smoke gated against bench/baselines/
+#             hotpath.json (fails on >20% macro throughput regression)
+#   asan    — ASan+UBSan build, oracle/robustness/perf labels (fault and
+#             pooling paths are where lifetime bugs hide)
+#   tsan    — TSan build, oracle/fleet/edge labels (trace recording and
+#             oracle counters ride the fleet's shard merge; prove they
+#             stay race-free)
+#
+# Usage: tools/run_checks.sh [stage ...]
+#   No arguments runs every stage in the order above.
+#   --fast is shorthand for "plain diff" (skip sanitizers and perf).
+#
+# Environment:
+#   BUILD_DIR       plain build tree            (default: build)
+#   ASAN_BUILD_DIR  ASan+UBSan build tree       (default: build-asan)
+#   TSAN_BUILD_DIR  TSan build tree             (default: build-tsan)
+#   JOBS            parallel build/test width   (default: nproc)
+#   CMAKE_ARGS      extra args for every cmake configure (e.g. ccache
+#                   launcher flags in CI)
 #
 # Any failure stops the script with a non-zero exit.
-set -eu
+set -euo pipefail
 
 cd "$(dirname "$0")/.."
-JOBS="$(nproc 2>/dev/null || echo 2)"
-FAST=0
-[ "${1:-}" = "--fast" ] && FAST=1
 
-echo "== stage 1: plain build + full suite =="
-cmake -B build -S . >/dev/null
-cmake --build build -j"$JOBS"
-ctest --test-dir build --output-on-failure -j"$JOBS"
+BUILD_DIR="${BUILD_DIR:-build}"
+ASAN_BUILD_DIR="${ASAN_BUILD_DIR:-build-asan}"
+TSAN_BUILD_DIR="${TSAN_BUILD_DIR:-build-tsan}"
+JOBS="${JOBS:-$(nproc 2>/dev/null || echo 2)}"
+CMAKE_ARGS="${CMAKE_ARGS:-}"
 
-echo "== stage 1b: differential harness (clean + mutation self-test) =="
-./build/tools/difftest --rounds 50 --seed 1
-./build/tools/difftest --rounds 50 --seed 1 --mutate stale-serve
+configure() {
+  # $1 = build dir, rest = extra -D flags. CMAKE_ARGS is intentionally
+  # word-split so CI can pass several flags in one variable.
+  # shellcheck disable=SC2086
+  cmake -B "$1" -S . ${CMAKE_ARGS} "${@:2}" >/dev/null
+}
 
-echo "== stage 1c: oracle-off byte-identity =="
-# With --oracle off the report must not grow an "oracle" section, and
-# must stay bit-identical across thread counts with it on.
-if ./build/tools/fleetsim --users 60 --json 2>/dev/null | grep -q '"oracle"'; then
-  echo "FAIL: oracle section present in an oracle-off report" >&2
-  exit 1
-fi
-./build/tools/fleetsim --users 60 --oracle --trace-users 2 --threads 1 \
-    --json 2>/dev/null > /tmp/oracle_t1.json
-./build/tools/fleetsim --users 60 --oracle --trace-users 2 --threads 8 \
-    --json 2>/dev/null > /tmp/oracle_t8.json
-cmp /tmp/oracle_t1.json /tmp/oracle_t8.json
+stage_plain() {
+  echo "== plain build + full suite =="
+  configure "$BUILD_DIR"
+  cmake --build "$BUILD_DIR" -j"$JOBS"
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS"
+}
 
-if [ "$FAST" = 1 ]; then
-  echo "== --fast: skipping sanitizer stages =="
-  exit 0
-fi
+stage_diff() {
+  echo "== differential harness (clean + mutation self-test) =="
+  configure "$BUILD_DIR"
+  cmake --build "$BUILD_DIR" -j"$JOBS" --target difftest fleetsim
+  "./$BUILD_DIR/tools/difftest" --rounds 50 --seed 1
+  "./$BUILD_DIR/tools/difftest" --rounds 50 --seed 1 --mutate stale-serve
 
-echo "== stage 2: ASan+UBSan — oracle + robustness labels =="
-cmake -B build-asan -S . -DCATALYST_SANITIZE=address >/dev/null
-cmake --build build-asan -j"$JOBS" --target \
-    check_oracle_test check_replay_test robustness_test \
-    netsim_faults_test client_retry_test
-ctest --test-dir build-asan --output-on-failure -L 'oracle|robustness'
+  echo "== oracle-off byte-identity =="
+  # With --oracle off the report must not grow an "oracle" section, and
+  # must stay bit-identical across thread counts with it on.
+  if "./$BUILD_DIR/tools/fleetsim" --users 60 --json 2>/dev/null \
+      | grep -q '"oracle"'; then
+    echo "FAIL: oracle section present in an oracle-off report" >&2
+    exit 1
+  fi
+  "./$BUILD_DIR/tools/fleetsim" --users 60 --oracle --trace-users 2 \
+      --threads 1 --json 2>/dev/null > /tmp/oracle_t1.json
+  "./$BUILD_DIR/tools/fleetsim" --users 60 --oracle --trace-users 2 \
+      --threads 8 --json 2>/dev/null > /tmp/oracle_t8.json
+  cmp /tmp/oracle_t1.json /tmp/oracle_t8.json
+}
 
-echo "== stage 3: TSan — oracle + fleet + edge labels =="
-cmake -B build-tsan -S . -DCATALYST_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j"$JOBS" --target \
-    check_replay_test fleet_determinism_test fleet_report_test \
-    fleet_user_model_test edge_tier_test edge_fleet_test
-ctest --test-dir build-tsan --output-on-failure -L 'oracle|fleet|edge'
+stage_perf() {
+  echo "== perf smoke: engine_hotpath vs checked-in baseline =="
+  configure "$BUILD_DIR"
+  cmake --build "$BUILD_DIR" -j"$JOBS" --target engine_hotpath
+  "./$BUILD_DIR/bench/engine_hotpath" --smoke \
+      --out BENCH_hotpath.json \
+      --baseline bench/baselines/hotpath.json
+}
+
+stage_asan() {
+  echo "== ASan+UBSan — oracle + robustness + perf labels =="
+  configure "$ASAN_BUILD_DIR" -DCATALYST_SANITIZE=address
+  cmake --build "$ASAN_BUILD_DIR" -j"$JOBS" --target \
+      check_oracle_test check_replay_test robustness_test \
+      netsim_faults_test client_retry_test \
+      util_intern_test util_flat_hash_test util_pool_test
+  ctest --test-dir "$ASAN_BUILD_DIR" --output-on-failure \
+      -L 'oracle|robustness|perf'
+}
+
+stage_tsan() {
+  echo "== TSan — oracle + fleet + edge labels =="
+  configure "$TSAN_BUILD_DIR" -DCATALYST_SANITIZE=thread
+  cmake --build "$TSAN_BUILD_DIR" -j"$JOBS" --target \
+      check_replay_test fleet_determinism_test fleet_report_test \
+      fleet_user_model_test edge_tier_test edge_fleet_test
+  ctest --test-dir "$TSAN_BUILD_DIR" --output-on-failure \
+      -L 'oracle|fleet|edge'
+}
+
+stages=()
+for arg in "$@"; do
+  case "$arg" in
+    --fast) stages+=(plain diff) ;;
+    plain|diff|perf|asan|tsan) stages+=("$arg") ;;
+    *)
+      echo "usage: tools/run_checks.sh [--fast] [plain|diff|perf|asan|tsan ...]" >&2
+      exit 2
+      ;;
+  esac
+done
+[ "${#stages[@]}" -eq 0 ] && stages=(plain diff perf asan tsan)
+
+for stage in "${stages[@]}"; do
+  "stage_${stage}"
+done
 
 echo "== all checks passed =="
