@@ -1,0 +1,125 @@
+#include "edge/flash.h"
+
+#include <utility>
+
+namespace catalyst::edge {
+
+FlashTier::FlashTier(const FlashConfig& config) : config_(config) {
+  // A log that cannot hold four segments cannot garbage-collect without
+  // thrashing; shrink the segment, never the budget.
+  if (config_.segment * 4 > config_.capacity && config_.capacity > 0) {
+    config_.segment = config_.capacity / 4;
+  }
+  if (config_.segment == 0) config_.segment = 1;
+}
+
+FlashTier::Record* FlashTier::locate(InternId key_id) {
+  if (key_id == kNoIntern) return nullptr;
+  Location* loc = index_.find(key_id);
+  if (loc == nullptr) return nullptr;
+  const std::uint64_t front_seq = segments_.front().seq;
+  Segment& seg = segments_[loc->segment_seq - front_seq];
+  return &seg.records[loc->record];
+}
+
+const FlashTier::Record* FlashTier::locate(InternId key_id) const {
+  return const_cast<FlashTier*>(this)->locate(key_id);
+}
+
+bool FlashTier::put(const std::string& key, cache::CacheEntry entry) {
+  const ByteCount cost = entry.cost();
+  if (cost > config_.capacity) return false;
+
+  const InternId key_id = tls_intern().intern(key);
+  if (Record* old = locate(key_id)) {
+    // Log caches never update in place: the old record goes dead where
+    // it lies and its space comes back when its segment is reclaimed.
+    old->live = false;
+    live_bytes_ -= old->cost;
+    ++stats_.superseded;
+    index_.erase(key_id);
+  }
+
+  Record record;
+  record.key = key;
+  record.entry = std::move(entry);
+  record.cost = cost;
+  record.live = true;
+  append(std::move(record), /*host_write=*/true);
+  ++stats_.stores;
+
+  while (log_bytes_ > config_.capacity && segments_.size() > 1) {
+    reclaim_oldest();
+  }
+  return true;
+}
+
+cache::CacheEntry* FlashTier::get(const std::string& key) {
+  Record* record = locate(tls_intern().find(key));
+  if (record == nullptr) return nullptr;
+  record->referenced = true;
+  return &record->entry;
+}
+
+const cache::CacheEntry* FlashTier::peek(const std::string& key) const {
+  const Record* record = locate(tls_intern().find(key));
+  return record == nullptr ? nullptr : &record->entry;
+}
+
+bool FlashTier::erase(const std::string& key) {
+  const InternId key_id = tls_intern().find(key);
+  Record* record = locate(key_id);
+  if (record == nullptr) return false;
+  record->live = false;
+  live_bytes_ -= record->cost;
+  index_.erase(key_id);
+  return true;
+}
+
+FlashTier::Segment& FlashTier::open_segment() {
+  if (segments_.empty() || segments_.back().bytes >= config_.segment) {
+    Segment seg;
+    seg.seq = next_seq_++;
+    segments_.push_back(std::move(seg));
+  }
+  return segments_.back();
+}
+
+void FlashTier::append(Record record, bool host_write) {
+  const ByteCount cost = record.cost;
+  const InternId key_id = tls_intern().intern(record.key);
+  Segment& seg = open_segment();
+  seg.records.push_back(std::move(record));
+  seg.bytes += cost;
+  log_bytes_ += cost;
+  live_bytes_ += cost;
+  index_.insert_or_assign(
+      key_id, Location{seg.seq,
+                       static_cast<std::uint32_t>(seg.records.size() - 1)});
+  stats_.device_bytes_written += cost;
+  if (host_write) stats_.host_bytes_written += cost;
+}
+
+void FlashTier::reclaim_oldest() {
+  Segment victim = std::move(segments_.front());
+  segments_.pop_front();
+  log_bytes_ -= victim.bytes;
+  ++stats_.gc_segments;
+  for (Record& record : victim.records) {
+    if (!record.live) continue;  // dead space reclaims for free
+    live_bytes_ -= record.cost;
+    index_.erase(tls_intern().find(record.key));
+    if (record.referenced) {
+      // CLOCK second chance: salvage to the log head, clearing the bit
+      // so a second sweep without a reference evicts it. The rewrite is
+      // a device write with no host write behind it — write amp.
+      record.referenced = false;
+      ++stats_.gc_rewrites;
+      append(std::move(record), /*host_write=*/false);
+    } else {
+      ++stats_.evictions;
+    }
+  }
+}
+
+}  // namespace catalyst::edge

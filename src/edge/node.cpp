@@ -33,6 +33,11 @@ bool forwarded_on_304(std::string_view name) {
 EdgeNode::EdgeNode(EdgePop& pop, netsim::Network& network,
                    std::string origin_host)
     : pop_(pop), network_(network), origin_host_(std::move(origin_host)) {
+  if (pop_.config().flash.enabled()) {
+    aio_ = std::make_unique<io::AioEngine>(
+        network_.loop(), pop_.config().flash.device, pop_.flash_rng(),
+        pop_.aio_stats());
+  }
   network_.host(pop_.host_name())
       .set_handler([this](const http::Request& request,
                           std::function<void(netsim::ServerReply)> respond) {
@@ -53,12 +58,33 @@ void EdgeNode::handle(const http::Request& request,
     return;
   }
 
-  // Miss or stale: both need the origin. Coalesce with any fill already in
-  // flight for this key — that fetch's answer serves everyone.
+  // Miss or stale: both need a fetch. Coalesce with any fill already in
+  // flight for this key — that fetch's answer serves everyone, whether it
+  // is coming from the origin or from the flash device.
   const InternId key_id = tls_intern().intern(key);
   if (Fill* pending = inflight_.find(key_id)) {
-    pop_.note_coalesced();
+    if (pending->flash_read) {
+      pop_.note_flash_coalesced();
+    } else {
+      pop_.note_coalesced();
+    }
     pending->waiters.push_back(Waiter{request, std::move(respond)});
+    return;
+  }
+
+  // RAM miss with the key resident in flash: read it asynchronously. The
+  // fill parks the waiters until the device completes; the completion
+  // re-classifies the record (it may have gone stale — or away — while
+  // queued) and either serves it or converts to an origin fetch.
+  if (found.decision == EdgeLookupDecision::Miss && aio_ != nullptr &&
+      pop_.flash_has(key)) {
+    Fill fill;
+    fill.request_time = now;
+    fill.flash_read = true;
+    fill.waiters.push_back(Waiter{request, std::move(respond)});
+    inflight_.insert_or_assign(key_id, std::move(fill));
+    aio_->submit_read(key, pop_.flash_entry_cost(key),
+                      [this, key]() { on_flash_read(key); });
     return;
   }
 
@@ -82,6 +108,42 @@ void EdgeNode::handle(const http::Request& request,
   }
 
   inflight_.insert_or_assign(key_id, std::move(fill));
+  launch_fetch(key, std::move(upstream));
+}
+
+void EdgeNode::on_flash_read(const std::string& key) {
+  const TimePoint now = network_.loop().now();
+  const InternId key_id = tls_intern().find(key);
+  Fill* pending = key_id == kNoIntern ? nullptr : inflight_.find(key_id);
+  if (pending == nullptr || !pending->flash_read) return;
+
+  const FlashReadResult rr = pop_.complete_flash_read(key, now, aio_.get());
+  if (rr.outcome == FlashReadOutcome::Fresh) {
+    Fill fill = std::move(*pending);
+    inflight_.erase(key_id);
+    for (const Waiter& w : fill.waiters) {
+      reply_to_waiter(w, rr.entry->response, Served::FlashHit);
+    }
+    return;
+  }
+
+  // Stale, unvalidatable, or vanished while queued: the origin has to
+  // answer after all. Convert the fill in place — keeping every parked
+  // waiter — into an ordinary origin fetch, conditional when the flash
+  // record still has validators to offer.
+  pending->flash_read = false;
+  pending->request_time = now;
+  http::Request upstream = http::Request::get(
+      pending->waiters.front().request.target, origin_host_);
+  if (rr.outcome == FlashReadOutcome::Stale) {
+    const cache::CacheEntry& entry = *rr.entry;
+    if (const auto etag = entry.etag()) {
+      upstream.headers.set(http::kIfNoneMatch, etag->to_string());
+    } else if (const auto lm =
+                   entry.response.headers.get(http::kLastModified)) {
+      upstream.headers.set(http::kIfModifiedSince, *lm);
+    }
+  }
   launch_fetch(key, std::move(upstream));
 }
 
@@ -138,7 +200,7 @@ void EdgeNode::on_origin_response(const std::string& key,
   // admit_and_store applies shared-cache policy (no-store/private/
   // uncacheable status) and TinyLFU admission; waiters are served from the
   // origin bytes either way.
-  pop_.admit_and_store(key, response, fill.request_time, now);
+  pop_.admit_and_store(key, response, fill.request_time, now, aio_.get());
   for (const Waiter& w : fill.waiters) {
     reply_to_waiter(w, response, Served::Miss);
   }
@@ -199,6 +261,9 @@ void EdgeNode::reply_to_waiter(const Waiter& waiter,
   switch (served) {
     case Served::Hit:
       pop_.note_hit(reply.wire_size());
+      break;
+    case Served::FlashHit:
+      pop_.note_flash_hit(reply.wire_size());
       break;
     case Served::Revalidated:
       pop_.note_revalidated_hit(reply.wire_size());

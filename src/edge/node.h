@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "edge/pop.h"
+#include "io/aio.h"
 #include "netsim/network.h"
 #include "netsim/transport.h"
 
@@ -47,25 +48,29 @@ class EdgeNode {
 
  private:
   /// How a resolved request was answered — drives EdgePop accounting.
-  /// hit = stored bytes, no upstream exchange; revalidated = stored bytes
-  /// after an upstream 304; miss = bytes fetched from origin this time.
-  enum class Served { Hit, Revalidated, Miss };
+  /// hit = RAM bytes, no upstream exchange; flash hit = stored bytes after
+  /// an async device read; revalidated = stored bytes after an upstream
+  /// 304; miss = bytes fetched from origin this time.
+  enum class Served { Hit, FlashHit, Revalidated, Miss };
 
   struct Waiter {
     http::Request request;
     std::function<void(netsim::ServerReply)> respond;
   };
 
-  /// One in-flight origin fetch; later requests for the same key join the
-  /// waiter list instead of fetching again.
+  /// One in-flight fetch — an origin exchange, or (flash_read) an async
+  /// device read that may yet convert into one. Later requests for the
+  /// same key join the waiter list instead of fetching again.
   struct Fill {
     std::vector<Waiter> waiters;
     TimePoint request_time{};
-    bool retried = false;  // 304-for-evicted-entry refetch guard
+    bool retried = false;     // 304-for-evicted-entry refetch guard
+    bool flash_read = false;  // waiting on the device, not the origin
   };
 
   void handle(const http::Request& request,
               std::function<void(netsim::ServerReply)> respond);
+  void on_flash_read(const std::string& key);
   void launch_fetch(const std::string& key, http::Request upstream);
   void on_origin_response(const std::string& key, http::Response response);
   void on_origin_error(const std::string& key);
@@ -86,6 +91,11 @@ class EdgeNode {
   std::string origin_host_;
   // Keyed by interned cache key; coalescing lookups happen per request.
   FlatHashMap<InternId, Fill> inflight_;
+  /// Device queue for this testbed's flash reads/writes (null when the
+  /// PoP has no flash tier). Per-node because completions schedule on
+  /// this testbed's loop; the RNG and telemetry it drives live in the
+  /// PoP so the latency stream persists across testbeds.
+  std::unique_ptr<io::AioEngine> aio_;
   std::unique_ptr<netsim::Connection> origin_conn_;
   std::vector<std::unique_ptr<netsim::Connection>> graveyard_;
 };

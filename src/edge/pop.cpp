@@ -22,7 +22,16 @@ EdgePop::EdgePop(EdgeConfig config)
     : config_(config),
       host_name_("edge.pop" + std::to_string(config.pop_id)),
       store_(config.capacity, config.protected_fraction),
-      admission_(expected_entries_for(config.capacity)) {}
+      admission_(expected_entries_for(config.capacity)),
+      // Forked by pop id so every PoP draws an independent latency-jitter
+      // stream from the same master seed — deterministic regardless of
+      // which thread replays which PoP.
+      flash_rng_(Rng(config.flash.seed)
+                     .fork(static_cast<std::uint64_t>(config.pop_id))) {
+  if (config_.flash.enabled()) {
+    flash_ = std::make_unique<FlashTier>(config_.flash);
+  }
+}
 
 EdgeLookupResult EdgePop::lookup(const std::string& key, TimePoint now) {
   cache::CacheEntry* entry = store_.get(key);
@@ -45,8 +54,8 @@ EdgeLookupResult EdgePop::lookup(const std::string& key, TimePoint now) {
 }
 
 bool EdgePop::admit_and_store(const std::string& key, http::Response response,
-                              TimePoint request_time,
-                              TimePoint response_time) {
+                              TimePoint request_time, TimePoint response_time,
+                              io::AioEngine* aio) {
   const http::CacheControl cc = response.cache_control();
   // Shared-cache storage rules (RFC 9111 §3): private responses are for
   // the user's cache only, no-store is for nobody's.
@@ -70,7 +79,8 @@ bool EdgePop::admit_and_store(const std::string& key, http::Response response,
   if (cost > store_.capacity()) return false;
 
   // Make room, letting TinyLFU veto the fill: a candidate may only
-  // displace victims it has out-requested.
+  // displace victims it has out-requested. With a flash tier, victims
+  // demote to the log instead of evaporating.
   while (store_.needs_room(cost)) {
     const auto victim = store_.victim_key();
     if (!victim) break;
@@ -78,19 +88,103 @@ bool EdgePop::admit_and_store(const std::string& key, http::Response response,
       ++stats_.admission_rejects;
       return false;
     }
+    demote_to_flash(*victim, aio);
     store_.evict_victim();
   }
   if (store_.put(key, std::move(entry))) {
     ++stats_.stores;
+    // Tier exclusivity: the fresh RAM copy supersedes any flash record
+    // left over from an earlier demotion.
+    if (flash_ != nullptr) flash_->erase(key);
     return true;
   }
   return false;
+}
+
+void EdgePop::demote_to_flash(const std::string& victim_key,
+                              io::AioEngine* aio) {
+  if (flash_ == nullptr) return;
+  // peek, not get: a get would promote the victim within the SLRU and
+  // make evict_victim() take out an innocent bystander instead.
+  const cache::CacheEntry* entry = store_.peek(victim_key);
+  if (entry == nullptr) return;
+  cache::CacheEntry copy = *entry;
+  const ByteCount cost = copy.cost();
+  if (flash_->put(victim_key, std::move(copy))) {
+    ++stats_.flash_demotions;
+    // The demotion is a real device write: it occupies a queue slot for
+    // its service time, delaying reads behind it.
+    if (aio != nullptr) aio->submit_write(cost);
+  }
+}
+
+ByteCount EdgePop::flash_entry_cost(const std::string& key) const {
+  if (flash_ == nullptr) return 0;
+  const cache::CacheEntry* entry = flash_->peek(key);
+  return entry == nullptr ? 0 : entry->response.wire_size();
+}
+
+FlashReadResult EdgePop::complete_flash_read(const std::string& key,
+                                             TimePoint now,
+                                             io::AioEngine* aio) {
+  if (flash_ == nullptr) return FlashReadResult{FlashReadOutcome::Gone};
+  cache::CacheEntry* entry = flash_->get(key);
+  // The record can vanish between submit and completion (superseded by a
+  // coalesced origin fill, or GC-evicted by demotions the fill caused).
+  if (entry == nullptr) return FlashReadResult{FlashReadOutcome::Gone};
+
+  const http::CacheControl cc = entry->response.cache_control();
+  const bool from_future = entry->response_time > now;
+  const bool fresh = !from_future && !cc.must_revalidate && !cc.no_cache &&
+                     cache::is_fresh(*entry, now, config_.allow_heuristic);
+  if (!fresh) {
+    if (entry->etag() ||
+        entry->response.headers.contains(http::kLastModified)) {
+      return FlashReadResult{FlashReadOutcome::Stale, entry};
+    }
+    // Expired and unvalidatable: dead weight in any tier.
+    flash_->erase(key);
+    return FlashReadResult{FlashReadOutcome::Miss};
+  }
+
+  // Fresh: promote to RAM so repeat hits skip the device — unless TinyLFU
+  // judges the RAM victims more valuable, in which case the bytes are
+  // served from flash and residency stays as it was. Copy first: demoting
+  // RAM victims mutates the flash log and invalidates `entry`.
+  cache::CacheEntry copy = *entry;
+  const ByteCount cost = copy.cost();
+  bool admit = cost <= store_.capacity();
+  while (admit && store_.needs_room(cost)) {
+    const auto victim = store_.victim_key();
+    if (!victim) break;
+    if (config_.tinylfu_admission && !admission_.admit(key, *victim)) {
+      admit = false;
+      break;
+    }
+    demote_to_flash(*victim, aio);
+    store_.evict_victim();
+  }
+  if (admit && !store_.needs_room(cost) && store_.put(key, copy)) {
+    flash_->erase(key);
+    ++stats_.flash_promotions;
+    return FlashReadResult{FlashReadOutcome::Fresh, store_.get(key)};
+  }
+  ++stats_.flash_promotion_rejects;
+  // Re-locate: GC may have moved the record while victims demoted. Its
+  // reference bit is set (we just read it), so GC salvages rather than
+  // evicts it — but stay defensive about the pointer.
+  cache::CacheEntry* kept = flash_->get(key);
+  if (kept == nullptr) return FlashReadResult{FlashReadOutcome::Gone};
+  return FlashReadResult{FlashReadOutcome::Fresh, kept};
 }
 
 cache::CacheEntry* EdgePop::refresh_not_modified(
     const std::string& key, const http::Response& not_modified,
     TimePoint request_time, TimePoint response_time) {
   cache::CacheEntry* entry = store_.get(key);
+  // A 304 can answer a conditional launched off a stale *flash* record;
+  // refresh it where it lives.
+  if (entry == nullptr && flash_ != nullptr) entry = flash_->get(key);
   if (entry == nullptr) return nullptr;
   // RFC 9111 §4.3.4 metadata refresh, plus X-Etag-Config: Catalyst origins
   // send the current subresource validity map on 304s, and forwarding the
@@ -124,6 +218,21 @@ void EdgePop::note_hit(ByteCount bytes_served) {
 void EdgePop::note_revalidated_hit(ByteCount bytes_served) {
   ++stats_.revalidated_hits;
   stats_.bytes_served += bytes_served;
+}
+
+EdgePopStats EdgePop::stats() const {
+  EdgePopStats s = stats_;
+  s.evictions = store_.evictions();
+  if (flash_ != nullptr) {
+    const FlashStats& f = flash_->stats();
+    s.flash_stores = f.stores;
+    s.flash_evictions = f.evictions;
+    s.flash_gc_rewrites = f.gc_rewrites;
+    s.flash_host_bytes = f.host_bytes_written;
+    s.flash_device_bytes = f.device_bytes_written;
+    s.aio = aio_stats_;
+  }
+  return s;
 }
 
 }  // namespace catalyst::edge

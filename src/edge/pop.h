@@ -12,13 +12,16 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 
 #include "cache/entry.h"
 #include "cache/stats.h"
+#include "edge/flash.h"
 #include "edge/slru.h"
 #include "edge/tinylfu.h"
+#include "util/rng.h"
 #include "util/types.h"
 
 namespace catalyst::edge {
@@ -26,7 +29,7 @@ namespace catalyst::edge {
 struct EdgeConfig {
   int pop_id = 0;
 
-  /// Shared-store byte budget of this PoP.
+  /// RAM-store byte budget of this PoP.
   ByteCount capacity = MiB(64);
 
   /// TinyLFU admission (off = plain SLRU fills, the ablation arm).
@@ -41,6 +44,11 @@ struct EdgeConfig {
   /// Heuristic freshness for responses without explicit lifetimes
   /// (RFC 9111 §4.2.2 applies to shared caches too).
   bool allow_heuristic = true;
+
+  /// Flash tier behind the RAM SLRU (capacity 0 — the default — means
+  /// RAM-only, byte-identical to pre-flash builds). Admission is RAM
+  /// eviction; reads are asynchronous through io::AioEngine.
+  FlashConfig flash;
 };
 
 /// Fleet-level description of an edge tier: how many PoPs front the
@@ -52,12 +60,19 @@ struct EdgeTierParams {
   Duration origin_rtt = milliseconds(30);
   bool admission = true;  // TinyLFU on/off (ablation)
 
+  /// Per-PoP flash tier (0 = RAM-only PoPs, pre-flash byte-identical).
+  ByteCount flash_capacity = 0;
+  Duration flash_read_latency = microseconds(100);
+  int flash_queue_depth = 8;
+
   bool enabled() const { return pops > 0; }
+  bool flash_enabled() const { return enabled() && flash_capacity > 0; }
 };
 
 /// CacheStats core plus the decisions only a shared intermediary makes.
-/// Every request resolves as exactly one of hits / revalidated_hits /
-/// misses, so requests always equals their sum.
+/// Every request resolves as exactly one of hits / flash_hits /
+/// revalidated_hits / misses, so requests always equals their sum
+/// (flash_hits is zero whenever the flash tier is disabled).
 struct EdgePopStats : cache::CacheStats {
   std::uint64_t requests = 0;           // client requests handled
   std::uint64_t revalidated_hits = 0;   // served after an origin 304
@@ -67,6 +82,27 @@ struct EdgePopStats : cache::CacheStats {
   std::uint64_t origin_errors = 0;      // upstream exchanges that failed
   std::uint64_t admission_rejects = 0;  // TinyLFU refused a fill
   ByteCount bytes_from_origin = 0;      // upstream response bytes
+
+  // Flash tier (all zero when EdgeConfig::flash is disabled).
+  std::uint64_t flash_hits = 0;        // served fresh from flash bytes
+  std::uint64_t flash_coalesced = 0;   // joined an in-flight flash read
+  std::uint64_t flash_demotions = 0;   // RAM evictions handed to flash
+  std::uint64_t flash_promotions = 0;  // flash reads re-admitted to RAM
+  std::uint64_t flash_promotion_rejects = 0;  // TinyLFU kept it in flash
+  std::uint64_t flash_stores = 0;      // flash records written
+  std::uint64_t flash_evictions = 0;   // records GC dropped
+  std::uint64_t flash_gc_rewrites = 0; // records GC salvaged (write amp)
+  ByteCount flash_bytes_served = 0;    // wire bytes answered from flash
+  ByteCount flash_host_bytes = 0;      // host bytes written to flash
+  ByteCount flash_device_bytes = 0;    // device bytes written (incl. GC)
+  io::AioStats aio;                    // device queue telemetry
+
+  double flash_write_amp() const {
+    return flash_host_bytes == 0
+               ? 1.0
+               : static_cast<double>(flash_device_bytes) /
+                     static_cast<double>(flash_host_bytes);
+  }
 
   /// Fraction of requests answered without fetching a body upstream —
   /// the origin-offload headline number.
@@ -91,6 +127,25 @@ struct EdgeLookupResult {
   cache::CacheEntry* entry = nullptr;
 };
 
+/// What an async flash read found once the device completed it. The
+/// entry may have been superseded or GC-evicted while the op was queued,
+/// so the completion re-classifies rather than trusting the submit-time
+/// lookup.
+enum class FlashReadOutcome {
+  Gone,   // evicted/superseded while the read was in flight
+  Fresh,  // serve flash bytes (promoted to RAM when TinyLFU agrees)
+  Stale,  // validators present: conditional GET upstream
+  Miss,   // stored but unvalidatable: treat as a plain miss
+};
+
+struct FlashReadResult {
+  FlashReadOutcome outcome = FlashReadOutcome::Gone;
+  /// Entry for Fresh/Stale. Fresh entries promoted to RAM point into the
+  /// RAM store; everything else points into the flash log. Invalidated
+  /// by any subsequent mutation of either tier.
+  cache::CacheEntry* entry = nullptr;
+};
+
 class EdgePop {
  public:
   explicit EdgePop(EdgeConfig config);
@@ -107,9 +162,12 @@ class EdgePop {
   EdgeLookupResult lookup(const std::string& key, TimePoint now);
 
   /// Stores an origin 200 if shared-cache policy and TinyLFU admission
-  /// allow. Returns true when stored.
+  /// allow. Returns true when stored. When the flash tier is enabled,
+  /// RAM victims demote to flash instead of evaporating; `aio` (when
+  /// given) accounts the resulting device writes.
   bool admit_and_store(const std::string& key, http::Response response,
-                       TimePoint request_time, TimePoint response_time);
+                       TimePoint request_time, TimePoint response_time,
+                       io::AioEngine* aio = nullptr);
 
   /// Applies an origin 304: refreshes validators, freshness headers, and
   /// — the Catalyst-aware part — the X-Etag-Config map, so edge-served
@@ -119,6 +177,36 @@ class EdgePop {
                                           const http::Response& not_modified,
                                           TimePoint request_time,
                                           TimePoint response_time);
+
+  // ---- Flash tier (all no-ops / false / null when flash is disabled) ----
+
+  bool flash_enabled() const { return flash_ != nullptr; }
+  FlashTier* flash() { return flash_.get(); }
+  Rng& flash_rng() { return flash_rng_; }
+  io::AioStats& aio_stats() { return aio_stats_; }
+
+  /// True when `key` is absent from RAM but present in the flash log —
+  /// the signal EdgeNode uses to start an async flash read on a RAM miss.
+  bool flash_has(const std::string& key) const {
+    return flash_ != nullptr && flash_->contains(key);
+  }
+
+  /// Wire size of the flash record for `key` (0 when absent) — the byte
+  /// count the async read is charged for.
+  ByteCount flash_entry_cost(const std::string& key) const;
+
+  /// Re-classifies the flash record for `key` after its device read
+  /// completed. Fresh records are promoted to RAM when TinyLFU agrees
+  /// (demoting RAM victims back to flash via `aio`); unvalidatable stale
+  /// records are dropped from both tiers and reported as Miss.
+  FlashReadResult complete_flash_read(const std::string& key, TimePoint now,
+                                      io::AioEngine* aio);
+
+  void note_flash_hit(ByteCount bytes_served) {
+    ++stats_.flash_hits;
+    stats_.flash_bytes_served += bytes_served;
+  }
+  void note_flash_coalesced() { ++stats_.flash_coalesced; }
 
   // Telemetry notes — EdgeNode calls these at the semantically right
   // moments so `requests == hits + revalidated_hits + misses` holds.
@@ -134,12 +222,9 @@ class EdgePop {
   void note_origin_not_modified() { ++stats_.origin_not_modified; }
   void note_origin_error() { ++stats_.origin_errors; }
 
-  /// Snapshot with the store's eviction count folded in.
-  EdgePopStats stats() const {
-    EdgePopStats s = stats_;
-    s.evictions = store_.evictions();
-    return s;
-  }
+  /// Snapshot with the store's eviction count and — when the flash tier
+  /// exists — the flash log's and device queue's counters folded in.
+  EdgePopStats stats() const;
 
   SlruStore& store() { return store_; }
   const TinyLfuAdmission& admission() const { return admission_; }
@@ -147,11 +232,23 @@ class EdgePop {
   std::size_t entry_count() const { return store_.entry_count(); }
 
  private:
+  /// Hands a RAM eviction victim to the flash log (admission-by-demotion)
+  /// and accounts the device write on `aio` when given.
+  void demote_to_flash(const std::string& victim_key, io::AioEngine* aio);
+
   EdgeConfig config_;
   std::string host_name_;
   SlruStore store_;
   TinyLfuAdmission admission_;
   EdgePopStats stats_;
+
+  /// Flash tier state. The tier, its latency-jitter RNG and the device
+  /// queue telemetry live here (not in EdgeNode) so they persist across
+  /// the per-user testbeds that bind to this PoP — mirroring how the
+  /// SLRU accumulates state across users.
+  std::unique_ptr<FlashTier> flash_;
+  Rng flash_rng_;
+  io::AioStats aio_stats_;
 };
 
 }  // namespace catalyst::edge

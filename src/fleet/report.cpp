@@ -45,6 +45,25 @@ void EdgePopReport::merge(const EdgePopReport& other) {
   evictions += other.evictions;
   bytes_served += other.bytes_served;
   bytes_from_origin += other.bytes_from_origin;
+  flash_enabled = flash_enabled || other.flash_enabled;
+  flash_hits += other.flash_hits;
+  flash_coalesced += other.flash_coalesced;
+  flash_demotions += other.flash_demotions;
+  flash_promotions += other.flash_promotions;
+  flash_promotion_rejects += other.flash_promotion_rejects;
+  flash_stores += other.flash_stores;
+  flash_evictions += other.flash_evictions;
+  flash_gc_rewrites += other.flash_gc_rewrites;
+  flash_bytes_served += other.flash_bytes_served;
+  flash_host_bytes += other.flash_host_bytes;
+  flash_device_bytes += other.flash_device_bytes;
+  aio_reads += other.aio_reads;
+  aio_writes += other.aio_writes;
+  aio_merged_reads += other.aio_merged_reads;
+  aio_queue_waits += other.aio_queue_waits;
+  aio_peak_inflight = aio_peak_inflight > other.aio_peak_inflight
+                          ? aio_peak_inflight
+                          : other.aio_peak_inflight;
 }
 
 void FleetReport::merge(const FleetReport& other) {
@@ -127,6 +146,10 @@ Json FleetReport::to_json() const {
       p.set("origin_fetches",
             Json::number(static_cast<double>(s.origin_fetches)));
       p.set("evictions", Json::number(static_cast<double>(s.evictions)));
+      if (s.flash_enabled) {
+        p.set("flash_hits", Json::number(static_cast<double>(s.flash_hits)));
+        p.set("flash_write_amp", Json::number(s.flash_write_amp()));
+      }
       per_pop.push_back(std::move(p));
     }
     Json e = Json::object();
@@ -158,6 +181,44 @@ Json FleetReport::to_json() const {
                   static_cast<double>(total.requests - total.origin_fetches) /
                   static_cast<double>(total.requests);
     e.set("origin_offload_pct", Json::number(offload));
+    // Flash tier block only on flash-enabled runs: RAM-only edge reports
+    // must serialize to the exact bytes they produced before the flash
+    // tier existed.
+    if (total.flash_enabled) {
+      Json fl = Json::object();
+      fl.set("hits", Json::number(static_cast<double>(total.flash_hits)));
+      fl.set("coalesced",
+             Json::number(static_cast<double>(total.flash_coalesced)));
+      fl.set("demotions",
+             Json::number(static_cast<double>(total.flash_demotions)));
+      fl.set("promotions",
+             Json::number(static_cast<double>(total.flash_promotions)));
+      fl.set("promotion_rejects",
+             Json::number(static_cast<double>(total.flash_promotion_rejects)));
+      fl.set("stores", Json::number(static_cast<double>(total.flash_stores)));
+      fl.set("evictions",
+             Json::number(static_cast<double>(total.flash_evictions)));
+      fl.set("gc_rewrites",
+             Json::number(static_cast<double>(total.flash_gc_rewrites)));
+      fl.set("bytes_served",
+             Json::number(static_cast<double>(total.flash_bytes_served)));
+      fl.set("host_bytes_written",
+             Json::number(static_cast<double>(total.flash_host_bytes)));
+      fl.set("device_bytes_written",
+             Json::number(static_cast<double>(total.flash_device_bytes)));
+      fl.set("write_amp", Json::number(total.flash_write_amp()));
+      Json aio = Json::object();
+      aio.set("reads", Json::number(static_cast<double>(total.aio_reads)));
+      aio.set("writes", Json::number(static_cast<double>(total.aio_writes)));
+      aio.set("merged_reads",
+              Json::number(static_cast<double>(total.aio_merged_reads)));
+      aio.set("queue_waits",
+              Json::number(static_cast<double>(total.aio_queue_waits)));
+      aio.set("peak_inflight",
+              Json::number(static_cast<double>(total.aio_peak_inflight)));
+      fl.set("aio", std::move(aio));
+      e.set("flash", std::move(fl));
+    }
     e.set("per_pop", std::move(per_pop));
     j.set("edge", std::move(e));
   }
@@ -241,6 +302,9 @@ std::string FleetReport::render_table(const std::string& title) const {
                                                 total.requests));
     };
     table.add_row({"  edge hits", epct(total.hits)});
+    if (total.flash_enabled) {
+      table.add_row({"  flash hits", epct(total.flash_hits)});
+    }
     table.add_row({"  edge revalidated", epct(total.revalidated_hits)});
     table.add_row({"  edge misses", epct(total.misses)});
     table.add_row({"  coalesced fetches", std::to_string(total.coalesced)});
@@ -249,6 +313,26 @@ std::string FleetReport::render_table(const std::string& title) const {
     table.add_row({"edge evictions", std::to_string(total.evictions)});
     table.add_row(
         {"edge admission rejects", std::to_string(total.admission_rejects)});
+    if (total.flash_enabled) {
+      table.add_separator();
+      table.add_row({"flash demotions", std::to_string(total.flash_demotions)});
+      table.add_row(
+          {"flash promotions", std::to_string(total.flash_promotions)});
+      table.add_row({"flash coalesced reads",
+                     std::to_string(total.flash_coalesced)});
+      table.add_row({"flash bytes served",
+                     format_bytes(total.flash_bytes_served)});
+      table.add_row(
+          {"flash write amp", str_format("%.2f", total.flash_write_amp())});
+      table.add_row({"aio reads (merged)",
+                     str_format("%llu (%llu)",
+                                static_cast<unsigned long long>(
+                                    total.aio_reads),
+                                static_cast<unsigned long long>(
+                                    total.aio_merged_reads))});
+      table.add_row({"aio peak inflight",
+                     std::to_string(total.aio_peak_inflight)});
+    }
   }
   table.add_separator();
   table.add_row({"bytes on wire", format_bytes(bytes_on_wire)});

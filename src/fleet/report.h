@@ -19,7 +19,8 @@ namespace catalyst::fleet {
 
 /// Telemetry of one edge PoP's shared cache over the whole run (treatment
 /// arm only). Plain sums so the report layer stays independent of the
-/// edge module; invariant: requests == hits + revalidated_hits + misses.
+/// edge module; invariant: requests == hits + flash_hits +
+/// revalidated_hits + misses (flash_hits is zero without a flash tier).
 struct EdgePopReport {
   std::uint64_t requests = 0;
   std::uint64_t hits = 0;
@@ -34,6 +35,34 @@ struct EdgePopReport {
   std::uint64_t evictions = 0;
   ByteCount bytes_served = 0;
   ByteCount bytes_from_origin = 0;
+
+  /// Flash tier + async-I/O device telemetry. Serialized only when
+  /// flash_enabled, so RAM-only edge reports stay byte-identical to
+  /// pre-flash builds.
+  bool flash_enabled = false;
+  std::uint64_t flash_hits = 0;
+  std::uint64_t flash_coalesced = 0;
+  std::uint64_t flash_demotions = 0;
+  std::uint64_t flash_promotions = 0;
+  std::uint64_t flash_promotion_rejects = 0;
+  std::uint64_t flash_stores = 0;
+  std::uint64_t flash_evictions = 0;
+  std::uint64_t flash_gc_rewrites = 0;
+  ByteCount flash_bytes_served = 0;
+  ByteCount flash_host_bytes = 0;
+  ByteCount flash_device_bytes = 0;
+  std::uint64_t aio_reads = 0;
+  std::uint64_t aio_writes = 0;
+  std::uint64_t aio_merged_reads = 0;
+  std::uint64_t aio_queue_waits = 0;
+  std::uint64_t aio_peak_inflight = 0;  // merged as a max, not a sum
+
+  double flash_write_amp() const {
+    return flash_host_bytes == 0
+               ? 1.0
+               : static_cast<double>(flash_device_bytes) /
+                     static_cast<double>(flash_host_bytes);
+  }
 
   void merge(const EdgePopReport& other);
 };

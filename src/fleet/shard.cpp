@@ -145,6 +145,14 @@ FleetReport Shard::run() {
     ec.pop_id = task_.pop;
     ec.capacity = params_.edge.capacity;
     ec.tinylfu_admission = params_.edge.admission;
+    if (params_.edge.flash_enabled()) {
+      ec.flash.capacity = params_.edge.flash_capacity;
+      ec.flash.device.read_latency = params_.edge.flash_read_latency;
+      ec.flash.device.queue_depth = params_.edge.flash_queue_depth;
+      // Jitter keyed off the fleet's master seed (forked per PoP inside
+      // EdgePop) so runs with different seeds draw different streams.
+      ec.flash.seed = params_.user_model.master_seed;
+    }
     treat_pop_ = std::make_unique<edge::EdgePop>(ec);
     base_pop_ = std::make_unique<edge::EdgePop>(ec);
   }
@@ -175,6 +183,25 @@ FleetReport Shard::run() {
     e.evictions = s.evictions;
     e.bytes_served = s.bytes_served;
     e.bytes_from_origin = s.bytes_from_origin;
+    if (params_.edge.flash_enabled()) {
+      e.flash_enabled = true;
+      e.flash_hits = s.flash_hits;
+      e.flash_coalesced = s.flash_coalesced;
+      e.flash_demotions = s.flash_demotions;
+      e.flash_promotions = s.flash_promotions;
+      e.flash_promotion_rejects = s.flash_promotion_rejects;
+      e.flash_stores = s.flash_stores;
+      e.flash_evictions = s.flash_evictions;
+      e.flash_gc_rewrites = s.flash_gc_rewrites;
+      e.flash_bytes_served = s.flash_bytes_served;
+      e.flash_host_bytes = s.flash_host_bytes;
+      e.flash_device_bytes = s.flash_device_bytes;
+      e.aio_reads = s.aio.reads;
+      e.aio_writes = s.aio.writes;
+      e.aio_merged_reads = s.aio.merged_reads;
+      e.aio_queue_waits = s.aio.queue_waits;
+      e.aio_peak_inflight = s.aio.peak_inflight;
+    }
   }
   return report;
 }

@@ -1,0 +1,107 @@
+#include "io/aio.h"
+
+#include <cmath>
+#include <utility>
+
+namespace catalyst::io {
+
+AioEngine::AioEngine(netsim::EventLoop& loop, const AioDeviceConfig& config,
+                     Rng& rng, AioStats& stats)
+    : loop_(loop), config_(config), rng_(rng), stats_(stats) {
+  if (config_.queue_depth < 1) config_.queue_depth = 1;
+}
+
+void AioEngine::submit_read(const std::string& key, ByteCount bytes,
+                            Completion done) {
+  const InternId key_id = tls_intern().intern(key);
+  if (std::uint64_t* pending = read_by_key_.find(key_id)) {
+    // Merge: the device will read these bytes once; everyone interested
+    // completes together.
+    ++stats_.merged_reads;
+    ops_.find(*pending)->completions.push_back(std::move(done));
+    return;
+  }
+  Op op;
+  op.read = true;
+  op.key = key_id;
+  op.bytes = bytes;
+  op.completions.push_back(std::move(done));
+  const std::uint64_t id = enqueue(std::move(op));
+  read_by_key_.insert_or_assign(key_id, id);
+}
+
+void AioEngine::submit_write(ByteCount bytes, Completion done) {
+  Op op;
+  op.bytes = bytes;
+  if (done) op.completions.push_back(std::move(done));
+  enqueue(std::move(op));
+}
+
+std::uint64_t AioEngine::enqueue(Op op) {
+  const std::uint64_t id = next_id_++;
+  ops_.insert_or_assign(id, std::move(op));
+  if (inflight_ < config_.queue_depth) {
+    start_op(id);
+  } else {
+    ++stats_.queue_waits;
+    waiting_.push_back(id);
+  }
+  return id;
+}
+
+void AioEngine::start_op(std::uint64_t id) {
+  ++inflight_;
+  if (static_cast<std::uint64_t>(inflight_) > stats_.peak_inflight) {
+    stats_.peak_inflight = static_cast<std::uint64_t>(inflight_);
+  }
+  const Duration service = service_time(*ops_.find(id));
+  loop_.schedule_after(service, [this, id]() { finish_op(id); });
+}
+
+void AioEngine::finish_op(std::uint64_t id) {
+  Op op = std::move(*ops_.find(id));
+  ops_.erase(id);
+  if (op.read) {
+    // Unregister before running completions: a completion may submit a
+    // fresh read for the same key, which must become a new device op.
+    read_by_key_.erase(op.key);
+    ++stats_.reads;
+    stats_.bytes_read += op.bytes;
+  } else {
+    ++stats_.writes;
+    stats_.bytes_written += op.bytes;
+  }
+  --inflight_;
+  // Fill the freed slot from the FIFO before running completions, so ops
+  // submitted by a completion queue behind everything already waiting.
+  while (inflight_ < config_.queue_depth && waiting_head_ < waiting_.size()) {
+    const std::uint64_t next = waiting_[waiting_head_++];
+    if (waiting_head_ == waiting_.size()) {
+      waiting_.clear();
+      waiting_head_ = 0;
+    }
+    start_op(next);
+  }
+  for (Completion& done : op.completions) {
+    if (done) done();
+  }
+}
+
+Duration AioEngine::service_time(const Op& op) {
+  const Duration base = op.read ? config_.read_latency : config_.write_latency;
+  double scale = 1.0;
+  if (config_.jitter_sigma > 0.0) {
+    scale = rng_.lognormal(0.0, config_.jitter_sigma);
+    // Clamp the tail: a device stall, not a pathological outlier that
+    // would make one unlucky draw dominate a whole sweep point.
+    if (scale > 8.0) scale = 8.0;
+  }
+  const double base_ns =
+      static_cast<double>(base.count()) * scale;
+  const double transfer_ns =
+      static_cast<double>(config_.per_mib.count()) *
+      (static_cast<double>(op.bytes) / static_cast<double>(MiB(1)));
+  return Duration{static_cast<std::int64_t>(base_ns + transfer_ns)};
+}
+
+}  // namespace catalyst::io

@@ -1,0 +1,78 @@
+// Flash-enabled fleet invariants: the two-tier edge report stays
+// bit-identical across thread counts, flash-off runs keep their exact
+// RAM-only byte layout, and per-tier accounting balances — every edge
+// request resolves as exactly one of hit / flash hit / revalidated / miss.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "fleet/runner.h"
+
+namespace catalyst::fleet {
+namespace {
+
+FleetParams flash_fleet() {
+  FleetParams params;
+  params.shard_size = 4;
+  params.user_model.site_catalog_size = 8;
+  params.user_model.horizon = days(2);
+  params.user_model.mean_visit_gap = hours(12);
+  params.user_model.max_visits = 3;
+  params.edge.pops = 2;
+  // RAM small enough to evict constantly: demotions feed the flash tier.
+  params.edge.capacity = MiB(1);
+  params.edge.flash_capacity = MiB(8);
+  return params;
+}
+
+constexpr std::uint64_t kUsers = 24;
+
+std::string run_fleet(FleetParams params, int threads) {
+  return FleetRunner(std::move(params), kUsers, threads).run().serialize();
+}
+
+TEST(EdgeFlashFleetTest, ThreadCountDoesNotChangeFlashReportBytes) {
+  const std::string one = run_fleet(flash_fleet(), 1);
+  EXPECT_EQ(run_fleet(flash_fleet(), 8), one);
+  // Rerunning is stable, not just coincidentally equal.
+  EXPECT_EQ(run_fleet(flash_fleet(), 1), one);
+}
+
+TEST(EdgeFlashFleetTest, FlashSectionOnlyExistsWhenEnabled) {
+  FleetParams ram_only = flash_fleet();
+  ram_only.edge.flash_capacity = 0;
+  const std::string off = run_fleet(ram_only, 1);
+  EXPECT_EQ(off.find("\"flash\""), std::string::npos);
+
+  const std::string on = run_fleet(flash_fleet(), 1);
+  EXPECT_NE(on.find("\"flash\""), std::string::npos);
+  EXPECT_NE(on, off);
+}
+
+TEST(EdgeFlashFleetTest, TwoTierAccountingBalances) {
+  FleetRunner runner(flash_fleet(), kUsers, 2);
+  const FleetReport report = runner.run();
+
+  ASSERT_EQ(report.edge_pops.size(), 2u);
+  EdgePopReport total;
+  for (const auto& [pop, stats] : report.edge_pops) {
+    total.merge(stats);
+  }
+  EXPECT_TRUE(total.flash_enabled);
+  EXPECT_GT(total.requests, 0u);
+  // Every request resolves as exactly one outcome across both tiers.
+  EXPECT_EQ(total.requests, total.hits + total.flash_hits +
+                                total.revalidated_hits + total.misses);
+  // The flash tier actually ran: the tiny RAM store demoted victims, and
+  // every promotion back started as a demotion.
+  EXPECT_GT(total.flash_demotions, 0u);
+  EXPECT_EQ(total.flash_stores, total.flash_demotions);
+  EXPECT_LE(total.flash_promotions, total.flash_demotions);
+  // Device-queue accounting: each flash hit or coalesced join traces back
+  // to a submitted read; merges never exceed submissions.
+  EXPECT_GT(total.aio_writes, 0u);
+  EXPECT_GE(total.flash_write_amp(), 1.0);
+}
+
+}  // namespace
+}  // namespace catalyst::fleet

@@ -19,9 +19,9 @@
 //   3. a per-URL digest divergence between arms is not oracle-excused on
 //      both sides (each side fresh-at-its-own-serve-time or allowed-stale).
 //
-// On failure the config is minimized (drop faults → drop edge → static
-// snapshot → fewer users → fewer visits, keeping whatever still fails)
-// and a single repro command line is printed.
+// On failure the config is minimized (drop faults → drop flash → drop
+// edge → static snapshot → fewer users → fewer visits, keeping whatever
+// still fails) and a single repro command line is printed.
 //
 // --mutate stale-serve injects the deliberately broken StaleServeStrategy
 // (every cached entry treated as fresh, revalidation skipped) into every
@@ -98,6 +98,10 @@ struct RoundConfig {
   double outage_fraction = 0.0;
   bool edge = true;               // run the edge arm
   ByteCount edge_capacity = MiB(8);
+  bool flash = false;             // give the edge arm's PoP a flash tier
+  ByteCount flash_capacity = MiB(32);
+  Duration flash_read_latency = microseconds(100);
+  int flash_queue_depth = 8;
   std::vector<DiffUser> users;
 };
 
@@ -117,6 +121,13 @@ RoundConfig draw_round(std::uint64_t round_seed) {
   cfg.loss_rate = rng.uniform(0.02, 0.08);
   cfg.outage_fraction = rng.bernoulli(0.5) ? rng.uniform(0.005, 0.03) : 0.0;
   cfg.edge_capacity = MiB(1) << rng.uniform_int(0, 6);  // 1..64 MiB
+  // Flash fields are drawn unconditionally (gated by the flag afterwards)
+  // so disabling flash during minimization never shifts the draw stream.
+  cfg.flash = rng.bernoulli(0.5);
+  cfg.flash_capacity = MiB(4) << rng.uniform_int(0, 5);  // 4..128 MiB
+  cfg.flash_read_latency =
+      microseconds(static_cast<std::int64_t>(rng.uniform(50.0, 4000.0)));
+  cfg.flash_queue_depth = static_cast<int>(rng.uniform_int(1, 32));
   const int users = static_cast<int>(rng.uniform_int(1, 3));
   for (int u = 0; u < users; ++u) {
     DiffUser du;
@@ -164,6 +175,12 @@ ArmResult run_arm(const RoundConfig& cfg, core::StrategyKind kind,
     edge::EdgeConfig ec;
     ec.pop_id = 0;
     ec.capacity = cfg.edge_capacity;
+    if (cfg.flash) {
+      ec.flash.capacity = cfg.flash_capacity;
+      ec.flash.device.read_latency = cfg.flash_read_latency;
+      ec.flash.device.queue_depth = cfg.flash_queue_depth;
+      ec.flash.seed = cfg.round_seed;
+    }
     pop = std::make_unique<edge::EdgePop>(ec);
   }
 
@@ -335,6 +352,11 @@ RoundConfig minimize(RoundConfig cfg, bool mutate) {
     c.faults = false;
     if (still_fails(c)) cfg = c;
   }
+  if (cfg.flash) {
+    RoundConfig c = cfg;
+    c.flash = false;
+    if (still_fails(c)) cfg = c;
+  }
   if (cfg.edge) {
     RoundConfig c = cfg;
     c.edge = false;
@@ -385,6 +407,7 @@ std::string repro_command(const RoundConfig& cfg, std::uint64_t base_seed,
   if (mutate) cmd += " --mutate stale-serve";
   RoundConfig original = draw_round(cfg.round_seed);
   if (original.faults && !cfg.faults) cmd += " --no-faults";
+  if (original.flash && !cfg.flash) cmd += " --no-flash";
   if (original.edge && !cfg.edge) cmd += " --no-edge";
   if (!original.static_site && cfg.static_site) cmd += " --static-site";
   if (original.third_party_fraction > 0.0 &&
@@ -410,6 +433,7 @@ std::string repro_command(const RoundConfig& cfg, std::uint64_t base_seed,
 /// for narrowing exploration).
 void apply_overrides(RoundConfig& cfg, const Args& args) {
   if (args.has("no-faults")) cfg.faults = false;
+  if (args.has("no-flash")) cfg.flash = false;
   if (args.has("no-edge")) cfg.edge = false;
   if (args.has("static-site")) cfg.static_site = true;
   if (args.has("no-third-party")) cfg.third_party_fraction = 0.0;
@@ -430,7 +454,8 @@ void usage() {
       stderr,
       "usage: difftest --rounds N [--seed S] [--mutate stale-serve]\n"
       "                [--verbose] [--users N] [--visits N] [--no-faults]\n"
-      "                [--no-edge] [--static-site] [--no-third-party]\n"
+      "                [--no-edge] [--no-flash] [--static-site]\n"
+      "                [--no-third-party]\n"
       "\n"
       "Runs N rounds of randomized differential testing: each round draws\n"
       "a workload (site x TTL profile x change model x faults x edge) from\n"

@@ -5,6 +5,7 @@
 //            [--horizon-days D] [--mean-gap-hours H] [--max-visits V]
 //            [--loss P] [--outage F] [--fault-seed S]
 //            [--edge-pops N] [--edge-capacity-mb M] [--edge-origin-rtt-ms R]
+//            [--edge-flash-mb M] [--edge-flash-lat-us U] [--edge-flash-qd Q]
 //            [--json] [--live]
 //
 // Runs N independent user sessions (Zipf site popularity, Poisson revisit
@@ -85,7 +86,8 @@ void usage() {
       "                [--max-visits V] [--loss P] [--outage F]\n"
       "                [--fault-seed S] [--edge-pops N]\n"
       "                [--edge-capacity-mb M] [--edge-origin-rtt-ms R]\n"
-      "                [--edge-no-admission] [--json]\n"
+      "                [--edge-no-admission] [--edge-flash-mb M]\n"
+      "                [--edge-flash-lat-us U] [--edge-flash-qd Q] [--json]\n"
       "\n"
       "  --loss P       per-request fault probability: P mid-stream drops\n"
       "                 plus P/4 silent stalls (default 0: no fault layer)\n"
@@ -97,6 +99,10 @@ void usage() {
       "  --edge-capacity-mb M   per-PoP cache budget (default 64)\n"
       "  --edge-origin-rtt-ms R PoP-to-origin RTT (default 30)\n"
       "  --edge-no-admission    disable TinyLFU admission (plain SLRU)\n"
+      "  --edge-flash-mb M      per-PoP flash tier behind the RAM cache\n"
+      "                 (default 0: RAM-only PoPs; requires --edge-pops)\n"
+      "  --edge-flash-lat-us U  median flash read latency (default 100)\n"
+      "  --edge-flash-qd Q      flash device queue depth (default 8)\n"
       "  --oracle       audit every serve against origin ground truth\n"
       "                 (byte-equivalence oracle; adds an \"oracle\"\n"
       "                 report section; off by default)\n"
@@ -155,6 +161,39 @@ int main(int argc, char** argv) {
   params.edge.origin_rtt = seconds_f(args.num("edge-origin-rtt-ms", 30) /
                                      1000.0);
   params.edge.admission = !args.has("edge-no-admission");
+
+  // Flash tier flags (default-off). Validate before touching params: a
+  // flash tier with no edge tier — or a nonsense size — is a config error
+  // the user should hear about, not a silently ignored flag.
+  const bool any_flash_flag = args.has("edge-flash-mb") ||
+                              args.has("edge-flash-lat-us") ||
+                              args.has("edge-flash-qd");
+  if (any_flash_flag && params.edge.pops <= 0) {
+    std::fprintf(stderr,
+                 "fleetsim: --edge-flash-* requires an edge tier; add "
+                 "--edge-pops N\n");
+    return 2;
+  }
+  const double flash_mb = args.num("edge-flash-mb", 0);
+  const double flash_lat_us = args.num("edge-flash-lat-us", 100);
+  const double flash_qd = args.num("edge-flash-qd", 8);
+  if (args.has("edge-flash-mb") && flash_mb <= 0) {
+    std::fprintf(stderr,
+                 "fleetsim: --edge-flash-mb must be a positive capacity "
+                 "(got %s)\n",
+                 args.get("edge-flash-mb", "").c_str());
+    return 2;
+  }
+  if (flash_lat_us <= 0 || flash_qd < 1) {
+    std::fprintf(stderr,
+                 "fleetsim: --edge-flash-lat-us must be positive and "
+                 "--edge-flash-qd at least 1\n");
+    return 2;
+  }
+  params.edge.flash_capacity = MiB(static_cast<ByteCount>(flash_mb));
+  params.edge.flash_read_latency =
+      Duration{static_cast<std::int64_t>(flash_lat_us * 1000.0)};
+  params.edge.flash_queue_depth = static_cast<int>(flash_qd);
 
   // Correctness oracle + trace recording (default-off; both keep the
   // default report byte-identical to pre-oracle builds).

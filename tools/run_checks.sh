@@ -8,9 +8,11 @@
 #
 #   plain   — full build + complete ctest suite (includes oracle label)
 #   diff    — differential harness sweep (clean + mutation self-test) and
-#             the oracle-off / cross-thread byte-identity checks
+#             the oracle-off / flash-off / cross-thread byte-identity
+#             checks (flash-on runs compared across thread counts)
 #   perf    — engine_hotpath --smoke gated against bench/baselines/
 #             hotpath.json (fails on >20% macro throughput regression)
+#             plus the edge_offload --smoke flash sweep
 #   asan    — ASan+UBSan build, oracle/robustness/perf labels (fault and
 #             pooling paths are where lifetime bugs hide)
 #   tsan    — TSan build, oracle/fleet/edge labels (trace recording and
@@ -74,15 +76,37 @@ stage_diff() {
   "./$BUILD_DIR/tools/fleetsim" --users 60 --oracle --trace-users 2 \
       --threads 8 --json 2>/dev/null > /tmp/oracle_t8.json
   cmp /tmp/oracle_t1.json /tmp/oracle_t8.json
+
+  echo "== flash-tier byte-identity =="
+  # Flash-off edge reports must not grow a "flash" section, and flash-on
+  # runs must stay bit-identical across thread counts (the async flash
+  # reads and device-queue jitter are all on the virtual clock).
+  if "./$BUILD_DIR/tools/fleetsim" --users 60 --edge-pops 2 --json \
+      2>/dev/null | grep -q '"flash"'; then
+    echo "FAIL: flash section present in a flash-off edge report" >&2
+    exit 1
+  fi
+  "./$BUILD_DIR/tools/fleetsim" --users 60 --edge-pops 2 \
+      --edge-capacity-mb 1 --edge-flash-mb 16 --threads 1 --json \
+      2>/dev/null > /tmp/flash_t1.json
+  "./$BUILD_DIR/tools/fleetsim" --users 60 --edge-pops 2 \
+      --edge-capacity-mb 1 --edge-flash-mb 16 --threads 8 --json \
+      2>/dev/null > /tmp/flash_t8.json
+  cmp /tmp/flash_t1.json /tmp/flash_t8.json
 }
 
 stage_perf() {
   echo "== perf smoke: engine_hotpath vs checked-in baseline =="
   configure "$BUILD_DIR"
-  cmake --build "$BUILD_DIR" -j"$JOBS" --target engine_hotpath
+  cmake --build "$BUILD_DIR" -j"$JOBS" --target engine_hotpath edge_offload
   "./$BUILD_DIR/bench/engine_hotpath" --smoke \
       --out BENCH_hotpath.json \
       --baseline bench/baselines/hotpath.json
+
+  echo "== perf smoke: edge_offload flash sweep =="
+  # Exercises the flash-enabled offload sweep end to end (RAM-only and
+  # two-tier points plus the read-merge probe); no gating baseline yet.
+  "./$BUILD_DIR/bench/edge_offload" --smoke > BENCH_edge_offload.json
 }
 
 stage_asan() {
@@ -101,7 +125,8 @@ stage_tsan() {
   configure "$TSAN_BUILD_DIR" -DCATALYST_SANITIZE=thread
   cmake --build "$TSAN_BUILD_DIR" -j"$JOBS" --target \
       check_replay_test fleet_determinism_test fleet_report_test \
-      fleet_user_model_test edge_tier_test edge_fleet_test
+      fleet_user_model_test edge_tier_test edge_fleet_test \
+      edge_flash_test edge_flash_fleet_test
   ctest --test-dir "$TSAN_BUILD_DIR" --output-on-failure \
       -L 'oracle|fleet|edge'
 }
