@@ -62,4 +62,24 @@ bool is_fresh(const CacheEntry& entry, TimePoint now,
          current_age(entry, now);
 }
 
+Duration negative_freshness_lifetime(const http::Response& response,
+                                     const NegativePolicy& policy) {
+  const http::CacheControl cc = response.cache_control();
+  if (cc.no_cache || cc.no_store) return Duration::zero();
+  // Explicit freshness (max-age or Expires−Date) is honored but clamped:
+  // an over-generous origin must not pin an error past the policy bound.
+  const Duration explicit_lifetime =
+      freshness_lifetime(response, /*allow_heuristic=*/false);
+  if (explicit_lifetime > Duration::zero()) {
+    return std::min(explicit_lifetime, policy.max_ttl);
+  }
+  return std::min(policy.default_ttl, policy.max_ttl);
+}
+
+bool is_negative_fresh(const CacheEntry& entry, TimePoint now,
+                       const NegativePolicy& policy) {
+  return negative_freshness_lifetime(entry.response, policy) >
+         current_age(entry, now);
+}
+
 }  // namespace catalyst::cache

@@ -23,4 +23,32 @@ Duration current_age(const CacheEntry& entry, TimePoint now);
 /// response_is_fresh = freshness_lifetime > current_age (§4.2).
 bool is_fresh(const CacheEntry& entry, TimePoint now, bool allow_heuristic);
 
+/// Negative caching policy (RFC 9111 §4 applied to error responses, after
+/// Garg et al.): 404/410 responses are stored under a bounded TTL so dead
+/// links stop costing an origin round-trip per reference. Off by default —
+/// zero-config runs must stay byte-identical to pre-negative builds.
+struct NegativePolicy {
+  bool enabled = false;
+  /// Lifetime granted to a negative response with no explicit freshness.
+  Duration default_ttl = seconds(60);
+  /// Upper bound on any negative lifetime, explicit or default: an origin
+  /// misconfigured with `max-age=1y` on a 404 must not pin the error.
+  Duration max_ttl = minutes(10);
+};
+
+/// True for statuses negative caching applies to (404, 410).
+constexpr bool is_negative_status(http::Status s) {
+  return s == http::Status::NotFound || s == http::Status::Gone;
+}
+
+/// Freshness lifetime for a negative response: explicit lifetime when the
+/// origin sent one (clamped to `policy.max_ttl`), else the bounded default.
+/// no-store / no-cache still force zero.
+Duration negative_freshness_lifetime(const http::Response& response,
+                                     const NegativePolicy& policy);
+
+/// is_fresh with the negative lifetime rule substituted.
+bool is_negative_fresh(const CacheEntry& entry, TimePoint now,
+                       const NegativePolicy& policy);
+
 }  // namespace catalyst::cache

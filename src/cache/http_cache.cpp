@@ -5,13 +5,30 @@
 
 namespace catalyst::cache {
 
-HttpCache::HttpCache(ByteCount capacity, bool allow_heuristic)
-    : store_(capacity), allow_heuristic_(allow_heuristic) {}
+HttpCache::HttpCache(ByteCount capacity, bool allow_heuristic,
+                     NegativePolicy negative)
+    : store_(capacity),
+      allow_heuristic_(allow_heuristic),
+      negative_(negative) {}
 
 LookupResult HttpCache::lookup(const std::string& url, TimePoint now) {
   ++stats_.lookups;
   CacheEntry* entry = store_.get(url);
   if (entry == nullptr) {
+    ++stats_.misses;
+    return LookupResult{LookupDecision::Miss, nullptr};
+  }
+  // Negative entries (stored 404/410s) answer under the bounded negative
+  // lifetime or not at all: once expired they are erased — revalidating an
+  // error body is pointless, the next reference pays the origin again.
+  if (is_negative_status(entry->response.status)) {
+    if (negative_.enabled && is_negative_fresh(*entry, now, negative_)) {
+      ++stats_.hits;
+      ++stats_.negative_hits;
+      stats_.bytes_served += entry->response.wire_size();
+      return LookupResult{LookupDecision::FreshHit, entry};
+    }
+    store_.erase(url);
     ++stats_.misses;
     return LookupResult{LookupDecision::Miss, nullptr};
   }
@@ -41,9 +58,12 @@ bool HttpCache::store(const std::string& url, http::Response response,
     return false;
   }
   if (!http::is_cacheable_status(response.status)) return false;
+  const bool negative = is_negative_status(response.status);
+  if (negative && (!negative_.enabled || cc.no_cache)) return false;
   // A response with no freshness info and no validator can never be
-  // reused; storing it would only waste space.
-  if (!cc.max_age && !cc.no_cache &&
+  // reused; storing it would only waste space. Negative responses are
+  // exempt: the policy's bounded default TTL is their freshness info.
+  if (!negative && !cc.max_age && !cc.no_cache &&
       !response.headers.contains(http::kExpires) &&
       !response.headers.contains(http::kEtagHeader) &&
       !response.headers.contains(http::kLastModified)) {
@@ -55,6 +75,7 @@ bool HttpCache::store(const std::string& url, http::Response response,
   entry.response_time = response_time;
   if (store_.put(url, std::move(entry))) {
     ++stats_.stores;
+    if (negative) ++stats_.negative_stores;
     return true;
   }
   return false;

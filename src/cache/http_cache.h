@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <string>
 
+#include "cache/freshness.h"
 #include "cache/stats.h"
 #include "cache/storage.h"
 #include "util/types.h"
@@ -31,6 +32,8 @@ struct LookupResult {
 struct HttpCacheStats : CacheStats {
   std::uint64_t lookups = 0;
   std::uint64_t revalidations = 0;  // stale-but-validatable lookups
+  std::uint64_t negative_stores = 0;  // 404/410 bodies admitted
+  std::uint64_t negative_hits = 0;    // errors answered without the origin
 };
 
 class HttpCache {
@@ -39,7 +42,8 @@ class HttpCache {
   /// with no explicit lifetime (browsers do this; it can serve stale
   /// content — one of the risks the paper's design avoids).
   explicit HttpCache(ByteCount capacity = MiB(256),
-                     bool allow_heuristic = true);
+                     bool allow_heuristic = true,
+                     NegativePolicy negative = NegativePolicy{});
 
   /// Looks up `url` at time `now` and classifies the required action.
   LookupResult lookup(const std::string& url, TimePoint now);
@@ -83,6 +87,7 @@ class HttpCache {
  private:
   LruStore store_;
   bool allow_heuristic_;
+  NegativePolicy negative_;
   HttpCacheStats stats_;
 };
 

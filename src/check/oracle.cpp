@@ -11,6 +11,10 @@
 namespace catalyst::check {
 namespace {
 
+/// The origin's unkeyed-input reflection marker (server::Server appends
+/// "\n<!--reflect:<value>-->" when configured to reflect X-Forwarded-Host).
+constexpr std::string_view kReflectPrefix = "<!--reflect:";
+
 /// Would RFC 9111 have allowed serving this response without revalidation
 /// at `now`? Computed from the delivered response's own headers: apparent
 /// age (now − Date, floored at zero, plus any Age header) against the
@@ -107,6 +111,47 @@ netsim::ServeClass ByteOracle::classify(const Url& url,
       ++stats_.fresh;
       return netsim::ServeClass::Fresh;
     }
+  }
+
+  // Unkeyed-input reflection check, ahead of the freshness excuse: a
+  // poisoned cache entry is typically *fresh* by its own headers, which
+  // is exactly what makes poisoning worse than staleness. Legitimate
+  // clients never send X-Forwarded-Host, so any reflection marker in a
+  // classified body came from some other request's input. Markers whose
+  // payload self-identifies as another user ("uid:...") are the
+  // confidentiality flavor; everything else is integrity poisoning.
+  const auto marker = outcome.response.body.find(kReflectPrefix);
+  if (marker != std::string::npos) {
+    const std::size_t value_begin = marker + kReflectPrefix.size();
+    const std::size_t value_end =
+        outcome.response.body.find("-->", value_begin);
+    std::string_view value;
+    if (value_end != std::string::npos) {
+      value = std::string_view(outcome.response.body)
+                  .substr(value_begin, value_end - value_begin);
+    }
+    const bool leak = value.substr(0, 4) == "uid:";
+    ++stats_.violations;
+    if (leak) {
+      ++stats_.cross_user_leaks;
+    } else {
+      ++stats_.poisoned_serves;
+    }
+    const netsim::ServeClass kind = leak
+                                        ? netsim::ServeClass::CrossUserLeak
+                                        : netsim::ServeClass::PoisonedServe;
+    if (violations_.size() < kMaxRecordedViolations) {
+      Violation v;
+      v.url = url.to_string();
+      v.source = outcome.source;
+      v.start = outcome.start;
+      v.finish = outcome.finish;
+      v.served_digest = served;
+      v.expected_digest = fnv1a64(*truth);
+      v.kind = kind;
+      violations_.push_back(std::move(v));
+    }
+    return kind;
   }
 
   // Stale bytes. Catalyst SW serves claim byte-currency (the X-Etag-Config

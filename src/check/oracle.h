@@ -55,14 +55,18 @@ struct Violation {
   TimePoint finish{};
   std::uint64_t served_digest = 0;
   std::uint64_t expected_digest = 0;
+  /// Violation, PoisonedServe, or CrossUserLeak.
+  netsim::ServeClass kind = netsim::ServeClass::Violation;
 };
 
 struct OracleStats {
   std::uint64_t checked = 0;        // fresh + allowed_stale + violations
   std::uint64_t fresh = 0;
   std::uint64_t allowed_stale = 0;
-  std::uint64_t violations = 0;
+  std::uint64_t violations = 0;     // includes poisoned/leak subclasses
   std::uint64_t unauditable = 0;    // unknown origin/path or non-200
+  std::uint64_t poisoned_serves = 0;  // of violations: reflected unkeyed input
+  std::uint64_t cross_user_leaks = 0; // of violations: another user's input
 };
 
 class ByteOracle {

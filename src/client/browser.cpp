@@ -11,7 +11,8 @@ namespace catalyst::client {
 Browser::Browser(netsim::Network& network, BrowserConfig config)
     : network_(network),
       config_(std::move(config)),
-      http_cache_(config_.http_cache_capacity),
+      http_cache_(config_.http_cache_capacity, /*allow_heuristic=*/true,
+                  config_.negative),
       fetcher_(network, config_.client_host, config_.fetcher) {
   fetcher_.set_push_handler(
       [this](const std::string& origin, netsim::PushedResponse push) {
@@ -34,7 +35,7 @@ CatalystServiceWorker& Browser::service_worker(const std::string& host) {
   auto& slot = workers_[host];
   if (!slot) {
     slot = std::make_unique<CatalystServiceWorker>(
-        config_.sw_cache_capacity);
+        config_.sw_cache_capacity, config_.negative);
   }
   return *slot;
 }
@@ -51,7 +52,7 @@ void Browser::register_service_worker(
   if (!config_.service_workers_enabled) return;
   CatalystServiceWorker& sw = service_worker(host);
   for (const auto& [path, response] : observed) {
-    sw.observe_response(path, response);
+    sw.observe_response(path, response, loop().now());
   }
   sw.set_registered();
 }
@@ -159,7 +160,7 @@ void Browser::fetch(const Url& url, bool is_navigation,
       // never trusts a stale map's world view either.
       force_revalidate = true;
     } else {
-      const auto intercept = sw.try_serve(url.path);
+      const auto intercept = sw.try_serve(url.path, loop().now());
       switch (intercept.decision) {
         case CatalystServiceWorker::Decision::ServeFromCache: {
           FetchOutcome outcome;
@@ -314,7 +315,8 @@ void Browser::network_fetch(const Url& url, bool is_navigation,
         } else {
           http_cache_.store(key, response, start, now);
           if (sw_registered(url.host)) {
-            service_worker(url.host).observe_response(url.path, response);
+            service_worker(url.host).observe_response(url.path, response,
+                                                      now);
           }
           outcome.response = std::move(response);
           outcome.source = netsim::FetchSource::Network;

@@ -52,6 +52,10 @@ struct BrowserConfig {
   /// baselines run with it off so registration snippets are inert).
   bool service_workers_enabled = false;
 
+  /// Negative caching of 404/410 responses at the HTTP cache and SW
+  /// (off by default — zero-config runs stay byte-identical).
+  cache::NegativePolicy negative;
+
   /// Attach a Cache-Digest header (bloom filter over cached same-origin
   /// paths) to navigation requests — the cache-digest push baseline.
   bool send_cache_digest = false;

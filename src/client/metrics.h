@@ -61,6 +61,15 @@ struct PageLoadResult {
   std::uint32_t oracle_checked = 0;
   std::uint32_t oracle_allowed_stale = 0;
   std::uint32_t oracle_violations = 0;
+  /// Security subclasses of oracle_violations (included in its count):
+  /// serves carrying another request's reflected unkeyed input, and the
+  /// subset identifying a different user's request.
+  std::uint32_t oracle_poisoned = 0;
+  std::uint32_t oracle_leaks = 0;
+
+  /// Negative-caching telemetry: error responses (404/410) answered from
+  /// a client-side cache without contacting the origin (RFC 9111 §4).
+  std::uint32_t negative_hits = 0;
 
   /// Simulation-engine events executed to produce this load (perf
   /// telemetry for bench/engine_hotpath; never serialized into reports).

@@ -61,6 +61,16 @@ void PageLoader::record(const Url& url, http::ResourceClass rc,
       ++result_.oracle_checked;
       ++result_.oracle_violations;
       break;
+    case netsim::ServeClass::PoisonedServe:
+      ++result_.oracle_checked;
+      ++result_.oracle_violations;
+      ++result_.oracle_poisoned;
+      break;
+    case netsim::ServeClass::CrossUserLeak:
+      ++result_.oracle_checked;
+      ++result_.oracle_violations;
+      ++result_.oracle_leaks;
+      break;
   }
   netsim::FetchTrace& trace = result_.trace.append();
   url.append_path_and_query(trace.url);
@@ -81,6 +91,14 @@ void PageLoader::record(const Url& url, http::ResourceClass rc,
   if (outcome.stale) ++result_.stale_served;
   if (outcome.sw_fallback) ++result_.fallback_revalidations;
   if (http::code(outcome.response.status) >= 500) ++result_.failed_loads;
+  // Negative-cache hit: an error answered from a client-side cache (the
+  // only way a 404/410 arrives with a cache source).
+  if ((outcome.response.status == http::Status::NotFound ||
+       outcome.response.status == http::Status::Gone) &&
+      (outcome.source == netsim::FetchSource::BrowserCache ||
+       outcome.source == netsim::FetchSource::SwCache)) {
+    ++result_.negative_hits;
+  }
   // This load's responses seed the Service Worker's install-time precache
   // (post_onload_sw_registration). Copy them only when registration can
   // still happen — SW support on and no worker yet — which skips the

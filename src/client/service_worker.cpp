@@ -31,8 +31,20 @@ CatalystServiceWorker::MapInstall CatalystServiceWorker::install_map_from(
 }
 
 CatalystServiceWorker::InterceptResult CatalystServiceWorker::try_serve(
-    const std::string& path) {
+    const std::string& path, TimePoint now) {
   ++stats_.intercepted;
+  // A remembered 404/410 answers before the map is consulted: the map
+  // only vouches for resources that exist.
+  if (const auto it = negative_entries_.find(path);
+      it != negative_entries_.end()) {
+    if (negative_.enabled &&
+        cache::is_negative_fresh(it->second, now, negative_)) {
+      ++stats_.served_from_cache;
+      ++stats_.negative_hits;
+      return {Decision::ServeFromCache, &it->second.response, false};
+    }
+    negative_entries_.erase(it);
+  }
   if (!map_) {
     ++stats_.forwarded;
     if (degraded_) {
@@ -65,8 +77,23 @@ CatalystServiceWorker::InterceptResult CatalystServiceWorker::try_serve(
 }
 
 void CatalystServiceWorker::observe_response(
-    const std::string& path, const http::Response& response) {
-  if (response.status != http::Status::Ok) return;
+    const std::string& path, const http::Response& response,
+    TimePoint response_time) {
+  if (response.status != http::Status::Ok) {
+    if (negative_.enabled && cache::is_negative_status(response.status) &&
+        !response.cache_control().no_store &&
+        !response.cache_control().no_cache) {
+      cache::CacheEntry entry;
+      entry.response = response;
+      entry.request_time = response_time;
+      entry.response_time = response_time;
+      negative_entries_.insert_or_assign(path, std::move(entry));
+      ++stats_.negative_stores;
+    }
+    return;
+  }
+  // A path that exists again supersedes any remembered error.
+  negative_entries_.erase(path);
   cache_.put(path, response);
 }
 

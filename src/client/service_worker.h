@@ -9,9 +9,11 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <optional>
 #include <string>
 
+#include "cache/freshness.h"
 #include "cache/sw_cache.h"
 #include "http/etag_config.h"
 #include "http/message.h"
@@ -31,12 +33,17 @@ struct ServiceWorkerStats {
   /// Requests forwarded as forced conditional GETs because the map was
   /// untrustworthy or a cached body failed its integrity check.
   std::uint64_t fallback_revalidations = 0;
+  /// Negative caching (404/410 under a bounded TTL).
+  std::uint64_t negative_stores = 0;
+  std::uint64_t negative_hits = 0;
 };
 
 class CatalystServiceWorker {
  public:
-  explicit CatalystServiceWorker(ByteCount cache_capacity = MiB(256))
-      : cache_(cache_capacity) {}
+  explicit CatalystServiceWorker(
+      ByteCount cache_capacity = MiB(256),
+      cache::NegativePolicy negative = cache::NegativePolicy{})
+      : cache_(cache_capacity), negative_(negative) {}
 
   /// Registration lifecycle: the browser registers the worker after the
   /// first visit delivers the registration snippet + SW script.
@@ -90,12 +97,17 @@ class CatalystServiceWorker {
     bool fallback = false;
   };
 
-  InterceptResult try_serve(const std::string& path);
+  /// `now` bounds the negative-cache check; the Catalyst map path is
+  /// time-independent (validity comes from ETag comparison, not TTLs).
+  InterceptResult try_serve(const std::string& path, TimePoint now);
 
   /// Stores a network response passing through the worker (honors
   /// no-store; requires an ETag to be useful — both checked by SwCache).
+  /// With negative caching enabled, 404/410 responses are remembered under
+  /// the policy's bounded TTL (`response_time` anchors their age).
   void observe_response(const std::string& path,
-                        const http::Response& response);
+                        const http::Response& response,
+                        TimePoint response_time);
 
   const cache::SwCache& cache() const { return cache_; }
   cache::SwCache& cache() { return cache_; }
@@ -106,6 +118,10 @@ class CatalystServiceWorker {
   bool degraded_ = false;
   std::optional<http::EtagConfig> map_;
   cache::SwCache cache_;
+  cache::NegativePolicy negative_;
+  /// Negative entries live outside the SwCache: they have no ETag to
+  /// compare against the map, only a bounded lifetime.
+  std::map<std::string, cache::CacheEntry> negative_entries_;
   ServiceWorkerStats stats_;
 };
 

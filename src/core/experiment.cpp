@@ -80,6 +80,15 @@ client::PageLoadResult run_visit(Testbed& tb, TimePoint at) {
   std::uint64_t events = tb.loop->run();  // drain prior-visit stragglers
   tb.loop->advance_to(at);
 
+  // The adversary strikes ahead of every visit: its poison attempt and
+  // timing probes race the victim's page load through the same loop,
+  // which is exactly the contention a shared edge tier gives a real
+  // attacker. Deterministic — the strike draws only from its own stream.
+  if (tb.adversary) {
+    tb.adversary->strike();
+    events += tb.loop->run();  // land the strike before the victim loads
+  }
+
   if (tb.kind == StrategyKind::RdrProxy) {
     client::PageLoadResult result = run_rdr_visit(tb);
     tb.browser->end_visit();

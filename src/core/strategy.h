@@ -5,8 +5,11 @@
 #include <optional>
 #include <string_view>
 
+#include "cache/freshness.h"
+#include "http/cache_control.h"
 #include "netsim/transport.h"
 #include "util/types.h"
+#include "workload/adversary.h"
 
 namespace catalyst::edge {
 class EdgePop;
@@ -100,6 +103,24 @@ struct StrategyOptions {
   /// every cached entry as fresh, skipping required revalidations. Must be
   /// caught by the oracle; never set outside tests/difftest --mutate.
   bool mutate_stale_serve = false;
+
+  /// Client-side negative caching policy (RFC 9111 §4): bounds under which
+  /// the browser's HTTP cache and the Catalyst SW may reuse stored 404/410
+  /// responses. Disabled by default — errors are never cached and runs
+  /// stay byte-identical.
+  cache::NegativePolicy negative_cache;
+
+  /// Explicit Cache-Control the origin attaches to its 404/410 responses
+  /// (a negative-caching origin opting in to explicit error freshness).
+  /// Unset keeps error responses headerless as before.
+  std::optional<http::CacheControl> error_cache_control;
+
+  /// Scripted attacker (workload::Adversary): poisoning requests with
+  /// unkeyed X-Forwarded-Host payloads plus cache-timing probes against
+  /// the edge PoP. Requires edge_pop; when enabled the origin also
+  /// reflects X-Forwarded-Host into bodies (the vulnerable-origin half of
+  /// the attack). Off by default — topology and traffic are untouched.
+  workload::AdversaryParams adversary;
 };
 
 }  // namespace catalyst::core

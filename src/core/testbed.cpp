@@ -66,6 +66,10 @@ Testbed make_testbed(std::shared_ptr<server::Site> site,
   }
   sc.catalyst.css_closure = options.catalyst_css_closure;
   sc.catalyst.memoize_scans = options.catalyst_memoize;
+  sc.error_cache_control = options.error_cache_control;
+  // The adversary testbed models a reflection-vulnerable origin: whether
+  // the attack lands then depends solely on the edge tier's cache keying.
+  sc.reflect_forwarded_host = options.adversary.enabled;
   tb.origin = std::make_unique<server::Server>(*tb.network, tb.site, sc);
 
   // Browser configuration.
@@ -88,6 +92,7 @@ Testbed make_testbed(std::shared_ptr<server::Site> site,
   // guarantee every visit completes.
   bc.fetcher.resilience.enabled = conditions.faults.any();
   bc.mutate_serve_stale = options.mutate_stale_serve;
+  bc.negative = options.negative_cache;
   tb.browser = std::make_unique<client::Browser>(*tb.network, bc);
 
   // With an edge tier, main-origin traffic is addressed to the PoP's
@@ -184,6 +189,30 @@ Testbed make_testbed(std::shared_ptr<server::Site> site,
     // references resolve against the page URL, so they follow it there.
     tb.fetch_url.host = pop.host_name();
     tb.page_url.host = pop.host_name();
+
+    if (options.adversary.enabled) {
+      // The attacker parks close to the PoP (a well-placed vantage point
+      // makes the timing side channel sharper, not weaker).
+      const Duration attacker_rtt = milliseconds(10);
+      tb.network->add_host(workload::Adversary::kHost);
+      tb.network->set_rtt(workload::Adversary::kHost, pop.host_name(),
+                          attacker_rtt);
+      workload::AdversaryParams ap = options.adversary;
+      if (ap.probe_hit_threshold <= Duration::zero()) {
+        // Fresh H1+TLS connection: 2 handshake RTTs + 1 exchange RTT to
+        // the PoP; an edge miss additionally pays the PoP-origin leg.
+        // Halfway into that leg separates the two populations.
+        ap.probe_hit_threshold =
+            3 * attacker_rtt + options.edge_origin_rtt / 2;
+      }
+      std::vector<std::string> targets;
+      targets.push_back(tb.site->index_path());
+      for (const auto& [path, resource] : tb.site->resources()) {
+        if (path != tb.site->index_path()) targets.push_back(path);
+      }
+      tb.adversary = std::make_unique<workload::Adversary>(
+          *tb.network, pop, std::move(targets), ap);
+    }
   }
 
   return tb;

@@ -13,6 +13,7 @@
 #include "netsim/event_loop.h"
 #include "netsim/network.h"
 #include "server/server.h"
+#include "workload/adversary.h"
 #include "workload/sitegen.h"
 
 namespace catalyst::core {
@@ -35,6 +36,10 @@ struct Testbed {
   // Byte-equivalence oracle (only when options.byte_oracle; the browser's
   // serve classifier points into it).
   std::unique_ptr<check::ByteOracle> byte_oracle;
+  // Scripted attacker against the edge PoP (only when
+  // options.adversary.enabled and an edge tier exists). run_visit fires
+  // one strike ahead of every page load.
+  std::unique_ptr<workload::Adversary> adversary;
   std::unique_ptr<client::Browser> browser;
   Url page_url;   // what the user "types": the origin page
   Url fetch_url;  // what the browser actually fetches (proxy for RDR)

@@ -45,10 +45,29 @@ EdgeNode::EdgeNode(EdgePop& pop, netsim::Network& network,
       });
 }
 
+std::string EdgeNode::cache_key(const http::Request& request) const {
+  std::string key = origin_host_ + path_of(request.target);
+  if (!pop_.config().vulnerable_keying) {
+    if (const auto xfh = request.headers.get(http::kXForwardedHost)) {
+      key += "|xfh=";
+      key += *xfh;
+    }
+  }
+  return key;
+}
+
+http::Request EdgeNode::build_upstream(const http::Request& client) const {
+  http::Request upstream = http::Request::get(client.target, origin_host_);
+  if (const auto xfh = client.headers.get(http::kXForwardedHost)) {
+    upstream.headers.set(http::kXForwardedHost, *xfh);
+  }
+  return upstream;
+}
+
 void EdgeNode::handle(const http::Request& request,
                       std::function<void(netsim::ServerReply)> respond) {
   const TimePoint now = network_.loop().now();
-  const std::string key = origin_host_ + path_of(request.target);
+  const std::string key = cache_key(request);
   pop_.note_request(key);
 
   const EdgeLookupResult found = pop_.lookup(key, now);
@@ -96,7 +115,7 @@ void EdgeNode::handle(const http::Request& request,
   // upstream (a 304 against the *client's* validator would leave the edge
   // with nothing to serve other waiters). On the stale path the edge sends
   // its own stored validators instead.
-  http::Request upstream = http::Request::get(request.target, origin_host_);
+  http::Request upstream = build_upstream(request);
   if (found.decision == EdgeLookupDecision::Stale) {
     const cache::CacheEntry& entry = *found.entry;
     if (const auto etag = entry.etag()) {
@@ -133,8 +152,8 @@ void EdgeNode::on_flash_read(const std::string& key) {
   // record still has validators to offer.
   pending->flash_read = false;
   pending->request_time = now;
-  http::Request upstream = http::Request::get(
-      pending->waiters.front().request.target, origin_host_);
+  http::Request upstream =
+      build_upstream(pending->waiters.front().request);
   if (rr.outcome == FlashReadOutcome::Stale) {
     const cache::CacheEntry& entry = *rr.entry;
     if (const auto etag = entry.etag()) {
@@ -185,9 +204,7 @@ void EdgeNode::on_origin_response(const std::string& key,
       pending->retried = true;
       pending->request_time = now;
       launch_fetch(key,
-                   http::Request::get(
-                       pending->waiters.front().request.target,
-                       origin_host_));
+                   build_upstream(pending->waiters.front().request));
       return;
     }
     // An unconditional fetch answered 304 — upstream is misbehaving.
@@ -199,8 +216,14 @@ void EdgeNode::on_origin_response(const std::string& key,
   inflight_.erase(key_id);
   // admit_and_store applies shared-cache policy (no-store/private/
   // uncacheable status) and TinyLFU admission; waiters are served from the
-  // origin bytes either way.
-  pop_.admit_and_store(key, response, fill.request_time, now, aio_.get());
+  // origin bytes either way. 5xx fills are guarded explicitly: a transient
+  // upstream failure must reach the coalesced waiters but never become
+  // cache content in RAM or flash (is_cacheable_status would reject them
+  // too, but negative caching loosened storability — keep the invariant
+  // visible at the one place a fill is admitted).
+  if (http::code(response.status) < 500) {
+    pop_.admit_and_store(key, response, fill.request_time, now, aio_.get());
+  }
   for (const Waiter& w : fill.waiters) {
     reply_to_waiter(w, response, Served::Miss);
   }

@@ -68,6 +68,17 @@ class EdgeNode {
     bool flash_read = false;  // waiting on the device, not the origin
   };
 
+  /// Cache key for a client request: origin + path, partitioned by any
+  /// unkeyed-but-reflected input (X-Forwarded-Host) under strict keying.
+  /// With EdgeConfig::vulnerable_keying the partition is skipped — the
+  /// planted poisoning bug the security oracle must catch.
+  std::string cache_key(const http::Request& request) const;
+
+  /// Builds the upstream request for a fill. Client conditionals never
+  /// leak upstream, but X-Forwarded-Host does — the origin varies on it,
+  /// which is what makes unkeyed caching of the result a poisoning bug.
+  http::Request build_upstream(const http::Request& client) const;
+
   void handle(const http::Request& request,
               std::function<void(netsim::ServerReply)> respond);
   void on_flash_read(const std::string& key);

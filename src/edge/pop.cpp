@@ -33,18 +33,36 @@ EdgePop::EdgePop(EdgeConfig config)
   }
 }
 
-EdgeLookupResult EdgePop::lookup(const std::string& key, TimePoint now) {
-  cache::CacheEntry* entry = store_.get(key);
-  if (entry == nullptr) return EdgeLookupResult{EdgeLookupDecision::Miss};
-  const http::CacheControl cc = entry->response.cache_control();
+bool EdgePop::entry_is_fresh(const cache::CacheEntry& entry,
+                             TimePoint now) const {
   // Time-travel guard: the fleet replays users sequentially, so shared
   // state can have been filled at a simulated time later than this user's
   // clock. Serving it fresh would leak the future; demote to stale so it
   // revalidates like any expired entry.
-  const bool from_future = entry->response_time > now;
-  if (!from_future && !cc.must_revalidate && !cc.no_cache &&
-      cache::is_fresh(*entry, now, config_.allow_heuristic)) {
+  if (entry.response_time > now) return false;
+  if (cache::is_negative_status(entry.response.status)) {
+    return config_.negative.enabled &&
+           cache::is_negative_fresh(entry, now, config_.negative);
+  }
+  const http::CacheControl cc = entry.response.cache_control();
+  return !cc.must_revalidate && !cc.no_cache &&
+         cache::is_fresh(entry, now, config_.allow_heuristic);
+}
+
+EdgeLookupResult EdgePop::lookup(const std::string& key, TimePoint now) {
+  cache::CacheEntry* entry = store_.get(key);
+  if (entry == nullptr) return EdgeLookupResult{EdgeLookupDecision::Miss};
+  if (entry_is_fresh(*entry, now)) {
+    if (cache::is_negative_status(entry->response.status)) {
+      ++stats_.negative_hits;
+    }
     return EdgeLookupResult{EdgeLookupDecision::Fresh, entry};
+  }
+  if (cache::is_negative_status(entry->response.status)) {
+    // An expired error has nothing to revalidate; drop it so the next
+    // reference refetches (a future-filled one waits for its clock).
+    if (entry->response_time <= now) store_.erase(key);
+    return EdgeLookupResult{EdgeLookupDecision::Miss};
   }
   if (entry->etag() ||
       entry->response.headers.contains(http::kLastModified)) {
@@ -64,7 +82,11 @@ bool EdgePop::admit_and_store(const std::string& key, http::Response response,
     return false;
   }
   if (!http::is_cacheable_status(response.status)) return false;
-  if (!cc.max_age && !cc.no_cache &&
+  const bool negative = cache::is_negative_status(response.status);
+  if (negative && (!config_.negative.enabled || cc.no_cache)) return false;
+  // The bounded negative TTL is a 404/410's freshness info; everything
+  // else still needs explicit freshness or a validator to be reusable.
+  if (!negative && !cc.max_age && !cc.no_cache &&
       !response.headers.contains(http::kExpires) &&
       !response.headers.contains(http::kEtagHeader) &&
       !response.headers.contains(http::kLastModified)) {
@@ -93,6 +115,7 @@ bool EdgePop::admit_and_store(const std::string& key, http::Response response,
   }
   if (store_.put(key, std::move(entry))) {
     ++stats_.stores;
+    if (negative) ++stats_.negative_stores;
     // Tier exclusivity: the fresh RAM copy supersedes any flash record
     // left over from an earlier demotion.
     if (flash_ != nullptr) flash_->erase(key);
@@ -133,10 +156,7 @@ FlashReadResult EdgePop::complete_flash_read(const std::string& key,
   // coalesced origin fill, or GC-evicted by demotions the fill caused).
   if (entry == nullptr) return FlashReadResult{FlashReadOutcome::Gone};
 
-  const http::CacheControl cc = entry->response.cache_control();
-  const bool from_future = entry->response_time > now;
-  const bool fresh = !from_future && !cc.must_revalidate && !cc.no_cache &&
-                     cache::is_fresh(*entry, now, config_.allow_heuristic);
+  const bool fresh = entry_is_fresh(*entry, now);
   if (!fresh) {
     if (entry->etag() ||
         entry->response.headers.contains(http::kLastModified)) {

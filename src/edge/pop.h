@@ -17,6 +17,7 @@
 #include <string>
 
 #include "cache/entry.h"
+#include "cache/freshness.h"
 #include "cache/stats.h"
 #include "edge/flash.h"
 #include "edge/slru.h"
@@ -49,6 +50,16 @@ struct EdgeConfig {
   /// RAM-only, byte-identical to pre-flash builds). Admission is RAM
   /// eviction; reads are asynchronous through io::AioEngine.
   FlashConfig flash;
+
+  /// Negative caching of origin 404/410s at the edge (off by default).
+  cache::NegativePolicy negative;
+
+  /// PLANTED VULNERABILITY for the security oracle (difftest
+  /// `--mutate unkeyed-header`): when set, the edge cache key ignores
+  /// unkeyed request inputs (X-Forwarded-Host), so a response the origin
+  /// derived from one client's header is served to every client. Strict
+  /// keying — the default — partitions the cache by that input.
+  bool vulnerable_keying = false;
 };
 
 /// Fleet-level description of an edge tier: how many PoPs front the
@@ -64,6 +75,12 @@ struct EdgeTierParams {
   ByteCount flash_capacity = 0;
   Duration flash_read_latency = microseconds(100);
   int flash_queue_depth = 8;
+
+  /// Negative caching at every PoP (see cache::NegativePolicy).
+  cache::NegativePolicy negative;
+
+  /// Vulnerable (unkeyed-input) cache keying — the planted poisoning bug.
+  bool vulnerable_keying = false;
 
   bool enabled() const { return pops > 0; }
   bool flash_enabled() const { return enabled() && flash_capacity > 0; }
@@ -82,6 +99,15 @@ struct EdgePopStats : cache::CacheStats {
   std::uint64_t origin_errors = 0;      // upstream exchanges that failed
   std::uint64_t admission_rejects = 0;  // TinyLFU refused a fill
   ByteCount bytes_from_origin = 0;      // upstream response bytes
+
+  // Negative caching (zero when EdgeConfig::negative is disabled).
+  std::uint64_t negative_stores = 0;  // 404/410 bodies admitted
+  std::uint64_t negative_hits = 0;    // errors answered without the origin
+
+  // Adversarial traffic observed (zero without `fleetsim --adversary`).
+  std::uint64_t adversary_requests = 0;  // poisoning strikes handled
+  std::uint64_t adversary_probes = 0;    // timing probes handled
+  std::uint64_t adversary_probe_hits = 0;  // probes that read a hit
 
   // Flash tier (all zero when EdgeConfig::flash is disabled).
   std::uint64_t flash_hits = 0;        // served fresh from flash bytes
@@ -221,6 +247,12 @@ class EdgePop {
   }
   void note_origin_not_modified() { ++stats_.origin_not_modified; }
   void note_origin_error() { ++stats_.origin_errors; }
+  void note_negative_hit() { ++stats_.negative_hits; }
+  void note_adversary_request() { ++stats_.adversary_requests; }
+  void note_adversary_probe(bool hit) {
+    ++stats_.adversary_probes;
+    if (hit) ++stats_.adversary_probe_hits;
+  }
 
   /// Snapshot with the store's eviction count and — when the flash tier
   /// exists — the flash log's and device queue's counters folded in.
@@ -232,6 +264,11 @@ class EdgePop {
   std::size_t entry_count() const { return store_.entry_count(); }
 
  private:
+  /// Shared freshness classification for stored entries in either tier:
+  /// the future-fill guard, then the bounded negative lifetime for stored
+  /// 404/410s, then RFC 9111 §4.2 for everything else.
+  bool entry_is_fresh(const cache::CacheEntry& entry, TimePoint now) const;
+
   /// Hands a RAM eviction victim to the flash log (admission-by-demotion)
   /// and accounts the device write on `aio` when given.
   void demote_to_flash(const std::string& victim_key, io::AioEngine* aio);

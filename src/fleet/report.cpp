@@ -45,6 +45,11 @@ void EdgePopReport::merge(const EdgePopReport& other) {
   evictions += other.evictions;
   bytes_served += other.bytes_served;
   bytes_from_origin += other.bytes_from_origin;
+  negative_stores += other.negative_stores;
+  negative_hits += other.negative_hits;
+  adversary_requests += other.adversary_requests;
+  adversary_probes += other.adversary_probes;
+  adversary_probe_hits += other.adversary_probe_hits;
   flash_enabled = flash_enabled || other.flash_enabled;
   flash_hits += other.flash_hits;
   flash_coalesced += other.flash_coalesced;
@@ -73,6 +78,7 @@ void FleetReport::merge(const FleetReport& other) {
   counters.merge(other.counters);
   faults.merge(other.faults);
   oracle.merge(other.oracle);
+  negative_hits += other.negative_hits;
   for (const auto& [user, trace] : other.traces) {
     traces.emplace(user, trace);
   }
@@ -129,7 +135,23 @@ Json FleetReport::to_json() const {
           Json::number(static_cast<double>(oracle.allowed_stale)));
     o.set("violations",
           Json::number(static_cast<double>(oracle.violations)));
+    // Security subclasses only when present, so pre-adversary oracle
+    // reports keep their exact bytes.
+    if (oracle.poisoned_serves != 0) {
+      o.set("poisoned_serves",
+            Json::number(static_cast<double>(oracle.poisoned_serves)));
+    }
+    if (oracle.cross_user_leaks != 0) {
+      o.set("cross_user_leaks",
+            Json::number(static_cast<double>(oracle.cross_user_leaks)));
+    }
     j.set("oracle", std::move(o));
+  }
+
+  // Only present when negative caching answered something.
+  if (negative_hits != 0) {
+    j.set("negative_hits",
+          Json::number(static_cast<double>(negative_hits)));
   }
 
   // Only present on edge-enabled runs: edge-off reports must serialize to
@@ -181,6 +203,25 @@ Json FleetReport::to_json() const {
                   static_cast<double>(total.requests - total.origin_fetches) /
                   static_cast<double>(total.requests);
     e.set("origin_offload_pct", Json::number(offload));
+    // Negative-cache and adversary blocks only when those features ran,
+    // so pre-existing edge reports keep their exact bytes.
+    if (total.negative_stores != 0 || total.negative_hits != 0) {
+      Json n = Json::object();
+      n.set("stores",
+            Json::number(static_cast<double>(total.negative_stores)));
+      n.set("hits", Json::number(static_cast<double>(total.negative_hits)));
+      e.set("negative", std::move(n));
+    }
+    if (total.adversary_requests != 0 || total.adversary_probes != 0) {
+      Json a = Json::object();
+      a.set("requests",
+            Json::number(static_cast<double>(total.adversary_requests)));
+      a.set("probes",
+            Json::number(static_cast<double>(total.adversary_probes)));
+      a.set("probe_hits",
+            Json::number(static_cast<double>(total.adversary_probe_hits)));
+      e.set("adversary", std::move(a));
+    }
     // Flash tier block only on flash-enabled runs: RAM-only edge reports
     // must serialize to the exact bytes they produced before the flash
     // tier existed.
@@ -277,6 +318,18 @@ std::string FleetReport::render_table(const std::string& title) const {
     table.add_row(
         {"  allowed stale", std::to_string(oracle.allowed_stale)});
     table.add_row({"  violations", std::to_string(oracle.violations)});
+    if (oracle.poisoned_serves != 0) {
+      table.add_row(
+          {"    poisoned serves", std::to_string(oracle.poisoned_serves)});
+    }
+    if (oracle.cross_user_leaks != 0) {
+      table.add_row(
+          {"    cross-user leaks", std::to_string(oracle.cross_user_leaks)});
+    }
+  }
+  if (negative_hits != 0) {
+    table.add_separator();
+    table.add_row({"negative-cache hits", std::to_string(negative_hits)});
   }
   if (faults.any()) {
     table.add_separator();
@@ -313,6 +366,22 @@ std::string FleetReport::render_table(const std::string& title) const {
     table.add_row({"edge evictions", std::to_string(total.evictions)});
     table.add_row(
         {"edge admission rejects", std::to_string(total.admission_rejects)});
+    if (total.negative_stores != 0 || total.negative_hits != 0) {
+      table.add_row(
+          {"edge negative stores", std::to_string(total.negative_stores)});
+      table.add_row(
+          {"edge negative hits", std::to_string(total.negative_hits)});
+    }
+    if (total.adversary_requests != 0 || total.adversary_probes != 0) {
+      table.add_row({"adversary requests",
+                     std::to_string(total.adversary_requests)});
+      table.add_row({"adversary probes (hits)",
+                     str_format("%llu (%llu)",
+                                static_cast<unsigned long long>(
+                                    total.adversary_probes),
+                                static_cast<unsigned long long>(
+                                    total.adversary_probe_hits))});
+    }
     if (total.flash_enabled) {
       table.add_separator();
       table.add_row({"flash demotions", std::to_string(total.flash_demotions)});

@@ -36,6 +36,14 @@ struct EdgePopReport {
   ByteCount bytes_served = 0;
   ByteCount bytes_from_origin = 0;
 
+  /// Negative caching (RFC 9111 §4) + adversary telemetry. Serialized
+  /// only when non-zero so runs without either feature stay byte-identical.
+  std::uint64_t negative_stores = 0;
+  std::uint64_t negative_hits = 0;
+  std::uint64_t adversary_requests = 0;   // poisoning requests seen
+  std::uint64_t adversary_probes = 0;     // timing probes classified
+  std::uint64_t adversary_probe_hits = 0; // probes that read as hits
+
   /// Flash tier + async-I/O device telemetry. Serialized only when
   /// flash_enabled, so RAM-only edge reports stay byte-identical to
   /// pre-flash builds.
@@ -86,6 +94,11 @@ struct FleetReport {
   /// loads audited too — a wrong byte is wrong on any visit). Serialized
   /// only when any() so oracle-off reports stay byte-identical.
   OracleCounters oracle;
+
+  /// Client-side negative-cache hits (404/410 answered from the browser
+  /// HTTP cache or the SW) across all treatment visits. Serialized only
+  /// when non-zero so negative-caching-off reports stay byte-identical.
+  std::uint64_t negative_hits = 0;
 
   /// Recorded page-load traces (check::trace_to_jsonl), keyed by user id:
   /// only users below FleetParams::trace_users record. A std::map keyed by

@@ -42,6 +42,9 @@ std::shared_ptr<server::Site> Shard::site_for(int site_index) {
   sp.seed = params_.user_model.sitegen_seed;
   sp.site_index = site_index;
   sp.clone_static_snapshot = params_.user_model.clone_static_snapshot;
+  sp.errors.dead_link_fraction = params_.user_model.dead_link_fraction;
+  sp.errors.gone_link_fraction = params_.user_model.gone_link_fraction;
+  sp.errors.soft404_fraction = params_.user_model.soft404_fraction;
   auto site = workload::generate_site(sp);
   sites_.emplace(site_index, site);
   return site;
@@ -101,6 +104,9 @@ void Shard::replay_user(const UserProfile& profile, FleetReport& report) {
     report.oracle.checked += r.oracle_checked;
     report.oracle.allowed_stale += r.oracle_allowed_stale;
     report.oracle.violations += r.oracle_violations;
+    report.oracle.poisoned_serves += r.oracle_poisoned;
+    report.oracle.cross_user_leaks += r.oracle_leaks;
+    report.negative_hits += r.negative_hits;
     if (i == 0) continue;  // cold load: all-network by construction
 
     CacheCounters c;
@@ -145,6 +151,8 @@ FleetReport Shard::run() {
     ec.pop_id = task_.pop;
     ec.capacity = params_.edge.capacity;
     ec.tinylfu_admission = params_.edge.admission;
+    ec.negative = params_.edge.negative;
+    ec.vulnerable_keying = params_.edge.vulnerable_keying;
     if (params_.edge.flash_enabled()) {
       ec.flash.capacity = params_.edge.flash_capacity;
       ec.flash.device.read_latency = params_.edge.flash_read_latency;
@@ -183,6 +191,11 @@ FleetReport Shard::run() {
     e.evictions = s.evictions;
     e.bytes_served = s.bytes_served;
     e.bytes_from_origin = s.bytes_from_origin;
+    e.negative_stores = s.negative_stores;
+    e.negative_hits = s.negative_hits;
+    e.adversary_requests = s.adversary_requests;
+    e.adversary_probes = s.adversary_probes;
+    e.adversary_probe_hits = s.adversary_probe_hits;
     if (params_.edge.flash_enabled()) {
       e.flash_enabled = true;
       e.flash_hits = s.flash_hits;

@@ -61,6 +61,14 @@ struct UserModelParams {
   /// Seed for the site catalog itself (independent of the population
   /// draw so the same catalog can be replayed under different fleets).
   std::uint64_t sitegen_seed = 2024;
+
+  /// Site error model (workload::SitegenParams::ErrorModel): fractions of
+  /// dead links (404), retired paths (410) and soft-404 JSON endpoints in
+  /// the generated catalog. All zero (the default) leaves the catalog
+  /// byte-identical to pre-error-model builds.
+  double dead_link_fraction = 0.0;
+  double gone_link_fraction = 0.0;
+  double soft404_fraction = 0.0;
 };
 
 /// One user's complete, deterministic session description.

@@ -65,5 +65,6 @@ inline constexpr std::string_view kIfNoneMatch = "If-None-Match";
 inline constexpr std::string_view kLastModified = "Last-Modified";
 inline constexpr std::string_view kAge = "Age";
 inline constexpr std::string_view kXEtagConfig = "X-Etag-Config";
+inline constexpr std::string_view kXForwardedHost = "X-Forwarded-Host";
 
 }  // namespace catalyst::http

@@ -20,6 +20,8 @@ std::string_view reason_phrase(Status s) {
       return "Forbidden";
     case Status::NotFound:
       return "Not Found";
+    case Status::Gone:
+      return "Gone";
     case Status::PreconditionFailed:
       return "Precondition Failed";
     case Status::InternalServerError:

@@ -14,6 +14,7 @@ enum class Status : int {
   BadRequest = 400,
   Forbidden = 403,
   NotFound = 404,
+  Gone = 410,
   PreconditionFailed = 412,
   InternalServerError = 500,
   BadGateway = 502,
@@ -37,6 +38,7 @@ constexpr bool is_cacheable_status(Status s) {
     case Status::NoContent:
     case Status::MovedPermanently:
     case Status::NotFound:
+    case Status::Gone:
       return true;
     default:
       return false;

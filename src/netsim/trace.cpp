@@ -32,6 +32,10 @@ std::string_view to_string(ServeClass cls) {
       return "allowed-stale";
     case ServeClass::Violation:
       return "violation";
+    case ServeClass::PoisonedServe:
+      return "poisoned-serve";
+    case ServeClass::CrossUserLeak:
+      return "cross-user-leak";
   }
   return "?";
 }

@@ -34,6 +34,11 @@ enum class ServeClass {
   AllowedStale,  // bytes differ, but within RFC 9111 freshness — the
                  // staleness the status quo explicitly permits
   Violation,     // bytes differ with no freshness justification: a bug
+  PoisonedServe, // delivered bytes carry another request's unkeyed input
+                 // (cache-poisoning: reflected X-Forwarded-Host stored
+                 // under a key the header does not partition)
+  CrossUserLeak, // poisoned bytes identify a *different user's* request —
+                 // one user observing another's reflected input
 };
 
 std::string_view to_string(ServeClass cls);

@@ -21,6 +21,9 @@ Server::Server(netsim::Network& network, std::shared_ptr<Site> site,
       site_(std::move(site)),
       config_(config),
       handler_(*site_) {
+  if (config_.error_cache_control) {
+    handler_.set_error_cache_control(*config_.error_cache_control);
+  }
   if (config_.enable_catalyst) {
     catalyst_ = std::make_unique<CatalystModule>(*site_, config_.catalyst);
   }
@@ -112,6 +115,22 @@ void Server::handle(const http::Request& request,
       if (base) {
         sessions_.record_fetch(session_id, base->path, path);
       }
+    }
+  }
+
+  // Unkeyed-input reflection: X-Forwarded-Host lands in the body after
+  // any HTML decoration so the marker survives into whatever a cache
+  // stores. Content-Length is re-derived; the body-digest memo
+  // invalidates itself on the size change.
+  if (config_.reflect_forwarded_host &&
+      reply.response.status == http::Status::Ok) {
+    if (const auto xfh = request.headers.get(http::kXForwardedHost)) {
+      reply.response.body += "\n<!--reflect:";
+      reply.response.body += *xfh;
+      reply.response.body += "-->";
+      reply.response.headers.set(
+          http::kContentLength,
+          std::to_string(reply.response.body_wire_size()));
     }
   }
 

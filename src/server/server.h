@@ -4,6 +4,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "netsim/network.h"
@@ -31,6 +32,16 @@ struct ServerConfig {
   /// Record per-session fetch logs (needed by catalyst session learning
   /// and the Learned push policy).
   bool track_sessions = false;
+
+  /// Explicit Cache-Control on 404/410 responses (negative-caching
+  /// origins opt in; unset keeps error responses headerless).
+  std::optional<http::CacheControl> error_cache_control;
+
+  /// Adversary testbed: reflect the X-Forwarded-Host request header into
+  /// 200 bodies (origins behind proxy layers compose absolute URLs from
+  /// it). Harmless end-to-end; poisonous once a shared cache keyed
+  /// without the header stores the result.
+  bool reflect_forwarded_host = false;
 };
 
 struct ServerStats {

@@ -11,6 +11,7 @@
 // site construction stays O(n log n).
 #pragma once
 
+#include <algorithm>
 #include <memory>
 #include <string>
 #include <vector>
@@ -55,6 +56,17 @@ class Site {
   /// Total declared wire size of all resources (page weight).
   ByteCount total_bytes() const;
 
+  /// Registers a retired path: the origin answers 410 Gone for it (the
+  /// permanent flavor of dead link, negative-cacheable like a 404).
+  void add_gone_path(std::string path) {
+    gone_paths_.push_back(std::move(path));
+  }
+  bool is_gone(const std::string& path) const {
+    return std::find(gone_paths_.begin(), gone_paths_.end(), path) !=
+           gone_paths_.end();
+  }
+  const std::vector<std::string>& gone_paths() const { return gone_paths_; }
+
  private:
   void ensure_sorted() const;
 
@@ -65,6 +77,7 @@ class Site {
   mutable std::vector<Entry> entries_;
   mutable FlatHashMap<InternId, std::uint32_t> index_;
   mutable bool sorted_ = true;
+  std::vector<std::string> gone_paths_;
 };
 
 }  // namespace catalyst::server

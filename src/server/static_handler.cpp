@@ -17,11 +17,27 @@ std::string path_of(const std::string& target) {
 http::Response StaticHandler::handle(const http::Request& request,
                                      TimePoint now) {
   ++stats_.requests;
-  const Resource* resource = site_.find(path_of(request.target));
+  const std::string path = path_of(request.target);
+  if (site_.is_gone(path)) {
+    ++stats_.gone;
+    http::Response resp = http::Response::make(http::Status::Gone);
+    resp.body = "gone";
+    if (error_cache_control_) {
+      resp.headers.set(http::kCacheControl,
+                       error_cache_control_->to_string());
+    }
+    resp.finalize(now);
+    return resp;
+  }
+  const Resource* resource = site_.find(path);
   if (resource == nullptr) {
     ++stats_.not_found;
     http::Response resp = http::Response::make(http::Status::NotFound);
     resp.body = "not found";
+    if (error_cache_control_) {
+      resp.headers.set(http::kCacheControl,
+                       error_cache_control_->to_string());
+    }
     resp.finalize(now);
     return resp;
   }

@@ -145,6 +145,8 @@ void OracleCounters::merge(const OracleCounters& other) {
   checked += other.checked;
   allowed_stale += other.allowed_stale;
   violations += other.violations;
+  poisoned_serves += other.poisoned_serves;
+  cross_user_leaks += other.cross_user_leaks;
 }
 
 void AtomicCacheCounters::record(const CacheCounters& delta) {

@@ -130,6 +130,8 @@ struct OracleCounters {
   std::uint64_t checked = 0;        // auditable serves (fresh+stale+viol)
   std::uint64_t allowed_stale = 0;  // stale within RFC 9111 freshness
   std::uint64_t violations = 0;     // stale with no freshness excuse
+  std::uint64_t poisoned_serves = 0;   // of violations: unkeyed-input bytes
+  std::uint64_t cross_user_leaks = 0;  // of violations: another user's input
 
   void merge(const OracleCounters& other);
 

@@ -1,0 +1,99 @@
+#include "workload/adversary.h"
+
+#include <stdexcept>
+
+#include "http/headers.h"
+#include "util/strings.h"
+
+namespace catalyst::workload {
+
+Adversary::Adversary(netsim::Network& network, edge::EdgePop& pop,
+                     std::vector<std::string> target_paths,
+                     AdversaryParams params)
+    : network_(network),
+      pop_(pop),
+      paths_(std::move(target_paths)),
+      params_(params),
+      rng_(params.seed) {
+  if (paths_.empty()) {
+    throw std::invalid_argument("Adversary: target_paths must be non-empty");
+  }
+}
+
+netsim::Connection& Adversary::fresh_connection() {
+  connections_.push_back(std::make_unique<netsim::Connection>(
+      network_, kHost, pop_.host_name(), /*tls=*/true,
+      netsim::Protocol::H1));
+  return *connections_.back();
+}
+
+void Adversary::send_poison(const std::string& path,
+                            const std::string& payload) {
+  ++stats_.requests;
+  pop_.note_adversary_request();
+  http::Request request = http::Request::get(path, pop_.host_name());
+  request.headers.set(http::kXForwardedHost, payload);
+  ++pending_poisons_;
+  fresh_connection().send_request(
+      std::move(request),
+      [this, payload](http::Response response) {
+        ++stats_.responses;
+        if (response.body.find(payload) != std::string::npos) {
+          ++stats_.reflected;
+        }
+        if (--pending_poisons_ == 0) flush_probes();
+      },
+      /*on_push=*/nullptr, /*on_promise=*/nullptr, /*on_hints=*/nullptr,
+      // A faulted poison still releases its probes — they must never
+      // stall on a lost response.
+      [this]() {
+        if (--pending_poisons_ == 0) flush_probes();
+      });
+}
+
+void Adversary::flush_probes() {
+  std::vector<std::string> probes = std::move(queued_probes_);
+  queued_probes_.clear();
+  for (const std::string& path : probes) send_probe(path);
+}
+
+void Adversary::send_probe(const std::string& path) {
+  ++stats_.probes;
+  http::Request request = http::Request::get(path, pop_.host_name());
+  const TimePoint sent = network_.loop().now();
+  fresh_connection().send_request(
+      std::move(request), [this, sent](http::Response) {
+        ++stats_.responses;
+        const Duration elapsed = network_.loop().now() - sent;
+        const bool hit = elapsed <= params_.probe_hit_threshold;
+        if (hit) ++stats_.probe_hits;
+        pop_.note_adversary_probe(hit);
+      });
+}
+
+void Adversary::strike() {
+  ++stats_.strikes;
+  for (int i = 0; i < params_.requests_per_strike; ++i) {
+    // The first request of every strike poisons the entry point — the one
+    // path a subsequent victim visit is guaranteed to consume.
+    const std::string& path =
+        i == 0 ? paths_.front()
+               : paths_[static_cast<std::size_t>(rng_.uniform_int(
+                     0, static_cast<std::int64_t>(paths_.size() - 1)))];
+    const bool leak = rng_.bernoulli(params_.leak_payload_fraction);
+    const std::string payload =
+        leak ? str_format("uid:attacker-%llu",
+                          static_cast<unsigned long long>(stats_.strikes))
+             : "evil.example";
+    send_poison(path, payload);
+  }
+  // Probes check residency of what the poisons just planted, so they wait
+  // for the poison responses; drawn now to keep the RNG stream fixed.
+  for (int i = 0; i < params_.timing_probes_per_strike; ++i) {
+    queued_probes_.push_back(paths_[static_cast<std::size_t>(
+        rng_.uniform_int(0, static_cast<std::int64_t>(paths_.size() - 1)))]);
+  }
+  if (pending_poisons_ == 0) flush_probes();
+}
+
+}  // namespace catalyst::workload

@@ -1,0 +1,105 @@
+// Deterministic cache adversary: a scripted attacker client parked on the
+// testbed network that (a) tries to poison the shared edge tier through
+// requests carrying unkeyed input (X-Forwarded-Host, which a vulnerable
+// origin reflects into bodies — the classic unkeyed-header poisoning of
+// web-cache-poisoning literature), and (b) runs timing probes that infer
+// cache occupancy from response latency (an edge PoP shared across users
+// is a cross-user side channel).
+//
+// The adversary is measurement/attack traffic only: whether a strike
+// *lands* depends entirely on the defenses under test (edge cache keying,
+// origin reflection) — the module itself never touches cache state.
+// Everything it does is driven by its own seeded RNG stream, so
+// adversary-off runs are byte-identical and adversary-on runs replay
+// exactly.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "edge/pop.h"
+#include "netsim/transport.h"
+#include "util/rng.h"
+
+namespace catalyst::workload {
+
+struct AdversaryParams {
+  bool enabled = false;
+  std::uint64_t seed = 0xadba5e;
+
+  /// Poisoning requests per strike, each carrying an X-Forwarded-Host
+  /// payload. The first always targets the page entry point (the serve a
+  /// victim is guaranteed to consume); the rest pick random site paths.
+  int requests_per_strike = 4;
+
+  /// Fraction of poisoning payloads that self-identify as a user
+  /// ("uid:attacker-N" — the confidentiality probe the oracle classifies
+  /// as cross-user-leak); the rest carry a host payload ("evil.example",
+  /// classified as poisoned-serve).
+  double leak_payload_fraction = 0.5;
+
+  /// Plain timing probes per strike (no payload): each is classified
+  /// hit/miss by elapsed virtual time against `probe_hit_threshold`.
+  int timing_probes_per_strike = 2;
+
+  /// Latency below which a probe response is counted as a cache hit.
+  /// Zero = auto: the testbed fills in 3×(attacker-PoP RTT) + half the
+  /// PoP-origin RTT (handshake + exchange vs. the extra origin leg).
+  Duration probe_hit_threshold = Duration::zero();
+};
+
+struct AdversaryStats {
+  std::uint64_t strikes = 0;
+  std::uint64_t requests = 0;    // poisoning requests sent
+  std::uint64_t probes = 0;      // timing probes sent
+  std::uint64_t probe_hits = 0;  // probes classified as cache hits
+  std::uint64_t responses = 0;   // any response received
+  std::uint64_t reflected = 0;   // responses echoing our own payload back
+};
+
+class Adversary {
+ public:
+  /// Network host name the adversary connects from (registered by the
+  /// testbed, parked close to the PoP).
+  static constexpr const char* kHost = "attacker";
+
+  /// `target_paths` must be non-empty; index 0 is the page entry point.
+  /// The PoP reference is for attack telemetry only (note_adversary_*).
+  Adversary(netsim::Network& network, edge::EdgePop& pop,
+            std::vector<std::string> target_paths, AdversaryParams params);
+
+  /// Fires one strike: poisoning requests issued at the current virtual
+  /// time, then timing probes once every poison response has landed (a
+  /// probe measures whether the *poisoned* entry is resident — and firing
+  /// it concurrently would race the poison for the coalesced fill).
+  /// Callers drain the event loop; responses update stats as they arrive.
+  void strike();
+
+  const AdversaryStats& stats() const { return stats_; }
+  const AdversaryParams& params() const { return params_; }
+
+ private:
+  void send_poison(const std::string& path, const std::string& payload);
+  void send_probe(const std::string& path);
+  void flush_probes();
+  netsim::Connection& fresh_connection();
+
+  netsim::Network& network_;
+  edge::EdgePop& pop_;
+  std::vector<std::string> paths_;
+  AdversaryParams params_;
+  Rng rng_;
+  AdversaryStats stats_;
+  // Probe paths drawn at strike time (fixed draw order) but sent only
+  // after the strike's poison responses return.
+  int pending_poisons_ = 0;
+  std::vector<std::string> queued_probes_;
+  // One connection per request: probe latency must not include another
+  // request's H1 queueing. Kept alive for the adversary's lifetime so
+  // in-flight callbacks never dangle.
+  std::vector<std::unique_ptr<netsim::Connection>> connections_;
+};
+
+}  // namespace catalyst::workload

@@ -26,6 +26,20 @@ server::ContentGenerator opaque_generator(std::string path,
   };
 }
 
+/// A "soft 404": the endpoint answers 200 with an error-page body. Caches
+/// treat it as ordinary content — exactly the failure mode that makes
+/// status-code-based negative caching insufficient on its own.
+server::ContentGenerator soft404_generator(std::string path,
+                                           std::uint64_t salt) {
+  return [path = std::move(path), salt](std::uint64_t version) {
+    return str_format(
+        "{\"error\":\"not found\",\"path\":\"%s\",\"v\":%llu,"
+        "\"salt\":\"%016llx\"}",
+        path.c_str(), static_cast<unsigned long long>(version),
+        static_cast<unsigned long long>(salt));
+  };
+}
+
 ChangeProcess make_changes(Duration mean_interval, Duration horizon,
                            Rng& rng) {
   if (mean_interval <= Duration::zero()) return ChangeProcess::never();
@@ -166,6 +180,42 @@ SiteBundle generate_site_bundle(const SitegenParams& params) {
     chain_img.push_back(std::move(r));
   }
 
+  // --- Error model ------------------------------------------------------
+  // Dead links (404), retired paths (410), and soft-404 JSON endpoints.
+  // All draws come from a dedicated stream keyed off the seed — never from
+  // `rng` — so an all-zero error model leaves every downstream draw, and
+  // therefore the generated site, byte-identical to a build without it.
+  std::vector<bool> json_soft404(json.size(), false);
+  if (params.errors.any()) {
+    Rng error_rng(params.seed ^ 0xdead404ull ^
+                  (0x51e5ull *
+                   static_cast<std::uint64_t>(params.site_index + 1)));
+    int dead = 0;
+    for (std::size_t i = 0; i < img.size(); ++i) {
+      if (error_rng.bernoulli(params.errors.dead_link_fraction)) {
+        html_images.push_back(str_format("/img/missing%d.webp", dead++));
+      }
+    }
+    for (std::size_t i = 0; i < json.size(); ++i) {
+      if (error_rng.bernoulli(params.errors.dead_link_fraction)) {
+        fp_slot(json.size() + i)
+            .push_back(str_format("/api/missing%d.json", dead++));
+      }
+    }
+    int gone = 0;
+    for (std::size_t i = 0; i < img.size(); ++i) {
+      if (error_rng.bernoulli(params.errors.gone_link_fraction)) {
+        std::string path = str_format("/img/retired%d.webp", gone++);
+        html_images.push_back(path);
+        site->add_gone_path(std::move(path));
+      }
+    }
+    for (std::size_t i = 0; i < json.size(); ++i) {
+      json_soft404[i] =
+          error_rng.bernoulli(params.errors.soft404_fraction);
+    }
+  }
+
   // --- Materialize resources --------------------------------------------
   const std::uint64_t site_salt = rng.next_u64();
   Rng policy_rng = rng.fork(1);
@@ -210,7 +260,11 @@ SiteBundle generate_site_bundle(const SitegenParams& params) {
     add(r, opaque_generator(r.path, site_salt));
   }
   for (const auto& r : font) add(r, opaque_generator(r.path, site_salt));
-  for (const auto& r : json) add(r, opaque_generator(r.path, site_salt));
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    add(json[i], json_soft404[i]
+                     ? soft404_generator(json[i].path, site_salt)
+                     : opaque_generator(json[i].path, site_salt));
+  }
 
   // Stylesheets: distribute css_images and fonts across files.
   for (std::size_t i = 0; i < css.size(); ++i) {

@@ -46,6 +46,31 @@ struct SitegenParams {
 
   /// Number of distinct third-party origins to spread those over.
   int third_party_origins = 3;
+
+  /// Broken-link / error-response model. Real homepages reference dead
+  /// resources (link rot) and retired endpoints; the fractions below make
+  /// the synthetic sites do the same so negative caching has something to
+  /// cache. All draws come from a dedicated RNG stream, so all-zero
+  /// fractions leave the generated site byte-identical to a build without
+  /// the error model.
+  struct ErrorModel {
+    /// Per existing image/JSON slot: probability of an *additional*
+    /// reference to an unregistered path (origin answers 404).
+    double dead_link_fraction = 0.0;
+    /// Per existing image slot: probability of an additional reference to
+    /// a retired path (origin answers 410 Gone).
+    double gone_link_fraction = 0.0;
+    /// Per JSON endpoint: probability it serves an error-page body with a
+    /// 200 status (a "soft 404" — poison for naive caches, invisible to
+    /// status-based negative caching).
+    double soft404_fraction = 0.0;
+
+    bool any() const {
+      return dead_link_fraction > 0.0 || gone_link_fraction > 0.0 ||
+             soft404_fraction > 0.0;
+    }
+  };
+  ErrorModel errors;
 };
 
 /// A main site plus the third-party origins its page references.

@@ -127,5 +127,108 @@ TEST(AgeTest, AgeHeaderRespected) {
   EXPECT_EQ(current_age(entry, TimePoint{} + seconds(10)), seconds(60));
 }
 
+CacheEntry negative_entry(Status status, const std::string& cache_control,
+                          TimePoint response_time) {
+  Response resp = Response::make(status);
+  if (!cache_control.empty()) {
+    resp.headers.set(http::kCacheControl, cache_control);
+  }
+  resp.headers.set(http::kDate, http::format_http_date(response_time));
+  CacheEntry entry;
+  entry.response = std::move(resp);
+  entry.request_time = response_time;
+  entry.response_time = response_time;
+  return entry;
+}
+
+TEST(NegativeFreshnessTest, StatusClassification) {
+  EXPECT_TRUE(is_negative_status(Status::NotFound));
+  EXPECT_TRUE(is_negative_status(Status::Gone));
+  EXPECT_FALSE(is_negative_status(Status::Ok));
+  EXPECT_FALSE(is_negative_status(Status::InternalServerError));
+}
+
+TEST(NegativeFreshnessTest, DefaultTtlWithoutExplicitFreshness) {
+  NegativePolicy policy;
+  policy.enabled = true;
+  const auto entry = negative_entry(Status::NotFound, "", TimePoint{});
+  EXPECT_EQ(negative_freshness_lifetime(entry.response, policy),
+            policy.default_ttl);
+  EXPECT_TRUE(is_negative_fresh(entry, TimePoint{} + seconds(59), policy));
+  EXPECT_FALSE(is_negative_fresh(entry, TimePoint{} + seconds(60), policy));
+}
+
+TEST(NegativeFreshnessTest, ExplicitMaxAgeHonoredWithinBound) {
+  NegativePolicy policy;
+  policy.enabled = true;
+  const auto entry =
+      negative_entry(Status::Gone, "max-age=120", TimePoint{});
+  EXPECT_EQ(negative_freshness_lifetime(entry.response, policy),
+            seconds(120));
+  EXPECT_TRUE(is_negative_fresh(entry, TimePoint{} + seconds(119), policy));
+  EXPECT_FALSE(is_negative_fresh(entry, TimePoint{} + seconds(120), policy));
+}
+
+TEST(NegativeFreshnessTest, GenerousMaxAgeClampedToPolicyBound) {
+  // A misconfigured origin must not pin an error past max_ttl.
+  NegativePolicy policy;
+  policy.enabled = true;
+  const auto entry =
+      negative_entry(Status::NotFound, "max-age=31536000", TimePoint{});
+  EXPECT_EQ(negative_freshness_lifetime(entry.response, policy),
+            policy.max_ttl);
+}
+
+TEST(NegativeFreshnessTest, ExpiresHeaderClampedToPolicyBound) {
+  NegativePolicy policy;
+  policy.enabled = true;
+  Response resp = Response::make(Status::NotFound);
+  resp.headers.set(http::kDate, http::format_http_date(TimePoint{}));
+  resp.headers.set(http::kExpires,
+                   http::format_http_date(TimePoint{} + hours(48)));
+  EXPECT_EQ(negative_freshness_lifetime(resp, policy), policy.max_ttl);
+}
+
+TEST(NegativeFreshnessTest, NoCacheAndNoStoreForceZero) {
+  NegativePolicy policy;
+  policy.enabled = true;
+  EXPECT_EQ(negative_freshness_lifetime(
+                negative_entry(Status::NotFound, "no-cache", TimePoint{})
+                    .response,
+                policy),
+            Duration::zero());
+  EXPECT_EQ(negative_freshness_lifetime(
+                negative_entry(Status::Gone, "no-store", TimePoint{})
+                    .response,
+                policy),
+            Duration::zero());
+}
+
+TEST(NegativeFreshnessTest, AgeHeaderShortensNegativeLifetime) {
+  // A 404 relayed through an intermediary with Age: 50 has already burned
+  // most of the 60 s default lifetime when it arrives.
+  NegativePolicy policy;
+  policy.enabled = true;
+  Response resp = Response::make(Status::NotFound);
+  resp.headers.set(http::kDate, http::format_http_date(TimePoint{}));
+  resp.headers.set(http::kAge, "50");
+  CacheEntry entry;
+  entry.response = std::move(resp);
+  entry.request_time = TimePoint{};
+  entry.response_time = TimePoint{};
+  EXPECT_TRUE(is_negative_fresh(entry, TimePoint{} + seconds(9), policy));
+  EXPECT_FALSE(is_negative_fresh(entry, TimePoint{} + seconds(10), policy));
+}
+
+TEST(NegativeFreshnessTest, TightMaxTtlBoundsDefault) {
+  NegativePolicy policy;
+  policy.enabled = true;
+  policy.default_ttl = seconds(60);
+  policy.max_ttl = seconds(15);
+  const auto entry = negative_entry(Status::NotFound, "", TimePoint{});
+  EXPECT_EQ(negative_freshness_lifetime(entry.response, policy),
+            seconds(15));
+}
+
 }  // namespace
 }  // namespace catalyst::cache

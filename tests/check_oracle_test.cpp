@@ -6,6 +6,7 @@
 
 #include "check/oracle.h"
 #include "core/experiment.h"
+#include "edge/pop.h"
 #include "html/generate.h"
 #include "http/date.h"
 #include "server/catalyst_module.h"
@@ -224,6 +225,100 @@ TEST_F(OracleMutationTest, CleanBuildAuditsClean) {
 TEST_F(OracleMutationTest, StaleServeStrategyIsCaught) {
   const auto stats = run(true);
   EXPECT_GT(stats.violations, 0u);
+}
+
+TEST(ByteOracleTest, ReflectedMarkerIsPoisonedServe) {
+  // A body carrying another request's reflected X-Forwarded-Host can never
+  // be legitimate: legitimate clients do not send that header, so the
+  // marker proves the cache served someone else's input.
+  auto site = changing_site();
+  ByteOracle oracle;
+  oracle.add_site(site);
+  const TimePoint t = TimePoint{} + hours(1);
+  const Url url = *Url::parse("https://osite.example/a.css");
+  std::string body = site->find("/a.css")->content_at(t);
+  body += "\n<!--reflect:evil.example-->";
+  EXPECT_EQ(oracle.classify(url, outcome_with(std::move(body), t)),
+            ServeClass::PoisonedServe);
+  EXPECT_EQ(oracle.stats().violations, 1u);
+  EXPECT_EQ(oracle.stats().poisoned_serves, 1u);
+  EXPECT_EQ(oracle.stats().cross_user_leaks, 0u);
+  ASSERT_EQ(oracle.violations().size(), 1u);
+  EXPECT_EQ(oracle.violations().front().kind, ServeClass::PoisonedServe);
+}
+
+TEST(ByteOracleTest, UidMarkerIsCrossUserLeak) {
+  // A uid-tagged reflection identifies a *specific other user's* request:
+  // the victim is observing someone else's traffic, not just junk.
+  auto site = changing_site();
+  ByteOracle oracle;
+  oracle.add_site(site);
+  const TimePoint t = TimePoint{} + hours(1);
+  const Url url = *Url::parse("https://osite.example/a.css");
+  std::string body = site->find("/a.css")->content_at(t);
+  body += "\n<!--reflect:uid:attacker-3-->";
+  EXPECT_EQ(oracle.classify(url, outcome_with(std::move(body), t)),
+            ServeClass::CrossUserLeak);
+  EXPECT_EQ(oracle.stats().violations, 1u);
+  EXPECT_EQ(oracle.stats().cross_user_leaks, 1u);
+  EXPECT_EQ(oracle.stats().poisoned_serves, 0u);
+}
+
+TEST(ByteOracleTest, PoisonMarkerBeatsFreshnessExcuse) {
+  // A poisoned entry is typically *fresh by its own headers* — that is
+  // what makes poisoning durable. The marker scan must run before the
+  // RFC 9111 freshness excuse or every poisoned serve would classify
+  // AllowedStale.
+  auto site = changing_site();
+  ByteOracle oracle;
+  oracle.add_site(site);
+  const TimePoint t = TimePoint{} + hours(1);
+  const Url url = *Url::parse("https://osite.example/a.css");
+  std::string body = site->find("/a.css")->content_at(t);
+  body += "\n<!--reflect:evil.example-->";
+  FetchOutcome out = outcome_with(std::move(body), t,
+                                  netsim::FetchSource::BrowserCache);
+  out.response.headers.set(
+      http::kCacheControl,
+      http::CacheControl::with_max_age(seconds(3600)).to_string());
+  EXPECT_EQ(oracle.classify(url, out), ServeClass::PoisonedServe);
+}
+
+/// End-to-end poisoning self-test: a scripted adversary striking an edge
+/// PoP with unkeyed X-Forwarded-Host requests. With the planted
+/// vulnerable keying the oracle must flag poisoned serves; with strict
+/// (header-partitioned) keys the same attack must bounce off.
+class AdversaryPoisoningTest : public ::testing::Test {
+ protected:
+  check::OracleStats run(bool vulnerable_keying) {
+    edge::EdgeConfig ec;
+    ec.pop_id = 0;
+    ec.capacity = MiB(8);
+    ec.vulnerable_keying = vulnerable_keying;
+    edge::EdgePop pop(ec);
+    core::StrategyOptions opts;
+    opts.byte_oracle = true;
+    opts.edge_pop = &pop;
+    opts.adversary.enabled = true;
+    auto tb = core::make_testbed(changing_site(),
+                                 netsim::NetworkConditions::median_5g(),
+                                 core::StrategyKind::Catalyst, opts);
+    (void)core::run_visit(tb, TimePoint{} + hours(1));
+    (void)core::run_visit(tb, TimePoint{} + hours(1) + minutes(5));
+    return tb.byte_oracle->stats();
+  }
+};
+
+TEST_F(AdversaryPoisoningTest, VulnerableKeyingIsCaught) {
+  const auto stats = run(true);
+  EXPECT_GT(stats.poisoned_serves + stats.cross_user_leaks, 0u);
+  EXPECT_GT(stats.violations, 0u);
+}
+
+TEST_F(AdversaryPoisoningTest, StrictKeyingDefendsAgainstTheSameAttack) {
+  const auto stats = run(false);
+  EXPECT_GT(stats.checked, 0u);
+  EXPECT_EQ(stats.violations, 0u);
 }
 
 TEST(OracleTestbedTest, GeneratedSiteCatalystAuditsClean) {

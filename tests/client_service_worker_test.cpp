@@ -61,21 +61,21 @@ TEST(ServiceWorkerTest, NewMapReplacesOld) {
 TEST(ServiceWorkerTest, ServesOnlyMapVouchedCacheHits) {
   using Decision = CatalystServiceWorker::Decision;
   CatalystServiceWorker sw;
-  sw.observe_response("/a.css", ok_with_etag("v1"));
-  sw.observe_response("/b.js", ok_with_etag("v1"));
+  sw.observe_response("/a.css", ok_with_etag("v1"), TimePoint{});
+  sw.observe_response("/b.js", ok_with_etag("v1"), TimePoint{});
   sw.install_map_from(navigation_with_map(
       "{\"/a.css\":\"\\\"v1\\\"\",\"/b.js\":\"\\\"v2\\\"\"}"));
 
   // Covered + matching: served.
-  const auto hit = sw.try_serve("/a.css");
+  const auto hit = sw.try_serve("/a.css", TimePoint{});
   EXPECT_EQ(hit.decision, Decision::ServeFromCache);
   ASSERT_NE(hit.response, nullptr);
   EXPECT_EQ(hit.response->body, "body-v1");
   // Covered but changed on origin: forwarded with revalidation (the map
   // overrides any TTL freshness).
-  EXPECT_EQ(sw.try_serve("/b.js").decision, Decision::ForwardRevalidate);
+  EXPECT_EQ(sw.try_serve("/b.js", TimePoint{}).decision, Decision::ForwardRevalidate);
   // Not covered by the map: plain fetch semantics.
-  EXPECT_EQ(sw.try_serve("/c.json").decision, Decision::ForwardDefault);
+  EXPECT_EQ(sw.try_serve("/c.json", TimePoint{}).decision, Decision::ForwardDefault);
   EXPECT_EQ(sw.stats().served_from_cache, 1u);
   EXPECT_EQ(sw.stats().forwarded, 2u);
 }
@@ -84,14 +84,14 @@ TEST(ServiceWorkerTest, CoveredButUncachedForwardsWithRevalidation) {
   using Decision = CatalystServiceWorker::Decision;
   CatalystServiceWorker sw;
   sw.install_map_from(navigation_with_map("{\"/a.css\":\"\\\"v1\\\"\"}"));
-  EXPECT_EQ(sw.try_serve("/a.css").decision, Decision::ForwardRevalidate);
+  EXPECT_EQ(sw.try_serve("/a.css", TimePoint{}).decision, Decision::ForwardRevalidate);
 }
 
 TEST(ServiceWorkerTest, NoMapForwardsEverything) {
   using Decision = CatalystServiceWorker::Decision;
   CatalystServiceWorker sw;
-  sw.observe_response("/a.css", ok_with_etag("v1"));
-  const auto result = sw.try_serve("/a.css");
+  sw.observe_response("/a.css", ok_with_etag("v1"), TimePoint{});
+  const auto result = sw.try_serve("/a.css", TimePoint{});
   EXPECT_EQ(result.decision, Decision::ForwardDefault);
   EXPECT_EQ(result.response, nullptr);
 }
@@ -99,12 +99,12 @@ TEST(ServiceWorkerTest, NoMapForwardsEverything) {
 TEST(ServiceWorkerTest, ObserveIgnoresNonOkAndNoStore) {
   CatalystServiceWorker sw;
   Response not_modified = Response::make(Status::NotModified);
-  sw.observe_response("/a", not_modified);
+  sw.observe_response("/a", not_modified, TimePoint{});
   EXPECT_FALSE(sw.cache().contains("/a"));
 
   Response no_store = ok_with_etag("v1");
   no_store.headers.set(http::kCacheControl, "no-store");
-  sw.observe_response("/b", no_store);
+  sw.observe_response("/b", no_store, TimePoint{});
   EXPECT_FALSE(sw.cache().contains("/b"));
 }
 

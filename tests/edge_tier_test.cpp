@@ -317,5 +317,100 @@ TEST_F(EdgeNodeTest, EveryRequestResolvesExactlyOnce) {
   EXPECT_EQ(stats.requests, 5u);
 }
 
+TEST_F(EdgeNodeTest, ServerErrorReachesCoalescedWaitersButIsNeverAdmitted) {
+  // Regression: a transient 5xx fill used to be a store candidate. Every
+  // coalesced waiter must see the error, but the next request after the
+  // origin recovers must refetch — a cached 500 would pin the outage.
+  network_.host("origin.example")
+      .set_handler([this](const http::Request&,
+                          std::function<void(netsim::ServerReply)> respond) {
+        ++origin_requests_;
+        netsim::ServerReply reply;
+        reply.response =
+            http::Response::make(http::Status::InternalServerError);
+        reply.response.body = "boom";
+        reply.response.headers.set(http::kCacheControl, "max-age=300");
+        reply.response.finalize(loop_.now());
+        respond(std::move(reply));
+      });
+
+  constexpr int kClients = 4;
+  for (int i = 0; i < kClients; ++i) send_get("/app.js");
+  loop_.run();
+
+  EXPECT_EQ(origin_requests_, 1);  // one fill serves every waiter
+  for (const auto& response : responses_) {
+    ASSERT_TRUE(response.has_value());
+    EXPECT_EQ(response->status, http::Status::InternalServerError);
+  }
+  const EdgePopStats after_error = pop_->stats();
+  EXPECT_EQ(after_error.coalesced, static_cast<std::uint64_t>(kClients - 1));
+  EXPECT_EQ(after_error.stores, 0u);
+  EXPECT_EQ(pop_->entry_count(), 0u);
+
+  // Origin recovers: the next request must go upstream and succeed.
+  install_origin("\"v2\"");
+  const std::size_t slot = send_get("/app.js");
+  loop_.run();
+  EXPECT_EQ(origin_requests_, 2);
+  ASSERT_TRUE(responses_[slot].has_value());
+  EXPECT_EQ(responses_[slot]->status, http::Status::Ok);
+}
+
+TEST_F(EdgeNodeTest, StrictKeyingPartitionsByForwardedHost) {
+  // An attacker request carrying X-Forwarded-Host must not share a cache
+  // entry with clean traffic: the header selects a different (reflected)
+  // representation at the origin.
+  send_get("/app.js");
+  loop_.run();
+  ASSERT_EQ(origin_requests_, 1);
+
+  conns_.push_back(std::make_unique<netsim::Connection>(
+      network_, "client", pop_->host_name(), /*tls=*/false,
+      netsim::Protocol::H1));
+  http::Request poisoned = http::Request::get("/app.js", pop_->host_name());
+  poisoned.headers.set(http::kXForwardedHost, "evil.example");
+  conns_.back()->send_request(std::move(poisoned), [](http::Response) {});
+  loop_.run();
+
+  // Partitioned key: the poisoned request missed and went upstream.
+  EXPECT_EQ(origin_requests_, 2);
+  EXPECT_EQ(pop_->stats().hits, 0u);
+}
+
+TEST(EdgePopTest, NegativeEntriesStoreAndExpireUnderPolicy) {
+  EdgeConfig config;
+  config.negative.enabled = true;
+  config.negative.default_ttl = seconds(60);
+  EdgePop pop(config);
+  const TimePoint t0 = TimePoint{} + hours(1);
+
+  http::Response miss = http::Response::make(http::Status::NotFound);
+  miss.body = "not found";
+  miss.finalize(t0);
+  ASSERT_TRUE(pop.admit_and_store("origin/gone.css", miss, t0, t0));
+  EXPECT_EQ(pop.stats().negative_stores, 1u);
+
+  // Fresh within the bounded TTL, gone after it (no revalidation: an
+  // expired error has nothing to validate).
+  EXPECT_EQ(pop.lookup("origin/gone.css", t0 + seconds(30)).decision,
+            EdgeLookupDecision::Fresh);
+  EXPECT_EQ(pop.stats().negative_hits, 1u);
+  EXPECT_EQ(pop.lookup("origin/gone.css", t0 + seconds(90)).decision,
+            EdgeLookupDecision::Miss);
+  EXPECT_FALSE(pop.store().contains("origin/gone.css"));
+}
+
+TEST(EdgePopTest, NegativeCachingOffRefusesErrorResponses) {
+  EdgePop pop(EdgeConfig{});  // negative caching defaults off
+  const TimePoint t0 = TimePoint{} + hours(1);
+  http::Response miss = http::Response::make(http::Status::NotFound);
+  miss.body = "not found";
+  miss.finalize(t0);
+  EXPECT_FALSE(pop.admit_and_store("origin/gone.css", miss, t0, t0));
+  EXPECT_EQ(pop.stats().negative_stores, 0u);
+  EXPECT_EQ(pop.entry_count(), 0u);
+}
+
 }  // namespace
 }  // namespace catalyst::edge

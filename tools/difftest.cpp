@@ -27,6 +27,11 @@
 // (every cached entry treated as fresh, revalidation skipped) into every
 // arm and inverts the expectation: the run passes only if the oracle
 // catches the bug, and prints the first catching round as the repro seed.
+// --mutate unkeyed-header plants the cache-poisoning defect instead: the
+// edge arm's PoP keys entries without X-Forwarded-Host while the origin
+// reflects that header, and a scripted adversary strikes before every
+// visit. The run passes only when the oracle flags a poisoned-serve or
+// cross-user-leak violation.
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -37,6 +42,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/freshness.h"
 #include "core/experiment.h"
 #include "core/testbed.h"
 #include "edge/pop.h"
@@ -77,6 +83,16 @@ class Args {
   std::map<std::string, std::string> values_;
 };
 
+/// Deliberately planted defects for oracle self-tests. Each inverts the
+/// pass criterion: the run succeeds only if the oracle catches the bug.
+enum class Mutation {
+  None,
+  StaleServe,     // browser treats every cached entry as fresh
+  UnkeyedHeader,  // edge cache key ignores X-Forwarded-Host while the
+                  // origin reflects it (classic cache poisoning); the
+                  // scripted adversary supplies the poison
+};
+
 /// One user's place in a round: access tier + absolute visit times.
 struct DiffUser {
   fleet::AccessTier tier = fleet::AccessTier::Typical4g;
@@ -103,6 +119,11 @@ struct RoundConfig {
   Duration flash_read_latency = microseconds(100);
   int flash_queue_depth = 8;
   std::vector<DiffUser> users;
+  // Negative caching + site error model (drawn at the END of draw_round so
+  // pre-existing round seeds replay their original prefix exactly).
+  bool negative = false;
+  Duration negative_ttl = seconds(60);
+  double dead_links = 0.0;
 };
 
 RoundConfig draw_round(std::uint64_t round_seed) {
@@ -148,6 +169,11 @@ RoundConfig draw_round(std::uint64_t round_seed) {
     }
     cfg.users.push_back(std::move(du));
   }
+  // Appended draws (never reorder or insert above: minimization and repro
+  // depend on old seeds replaying the same stream prefix).
+  cfg.negative = rng.bernoulli(0.3);
+  cfg.negative_ttl = seconds(rng.uniform_int(30, 300));
+  cfg.dead_links = rng.bernoulli(0.3) ? 0.1 : 0.0;
   return cfg;
 }
 
@@ -159,7 +185,7 @@ struct ArmResult {
 };
 
 ArmResult run_arm(const RoundConfig& cfg, core::StrategyKind kind,
-                  bool behind_edge, bool mutate) {
+                  bool behind_edge, Mutation mutate) {
   // One shared site timeline per round: every arm must see identical
   // content versions (the whole point of a differential test).
   workload::SitegenParams sp;
@@ -168,13 +194,28 @@ ArmResult run_arm(const RoundConfig& cfg, core::StrategyKind kind,
   sp.ttl_profile = cfg.ttl;
   sp.clone_static_snapshot = cfg.static_site;
   sp.third_party_fraction = cfg.third_party_fraction;
+  sp.errors.dead_link_fraction = cfg.dead_links;
+  sp.errors.gone_link_fraction = cfg.dead_links / 2.0;
+  sp.errors.soft404_fraction = cfg.dead_links / 4.0;
   const workload::SiteBundle bundle = workload::generate_site_bundle(sp);
+
+  cache::NegativePolicy negative;
+  if (cfg.negative) {
+    negative.enabled = true;
+    negative.default_ttl = cfg.negative_ttl;
+    if (negative.default_ttl > negative.max_ttl) {
+      negative.max_ttl = negative.default_ttl;
+    }
+  }
 
   std::unique_ptr<edge::EdgePop> pop;
   if (behind_edge) {
     edge::EdgeConfig ec;
     ec.pop_id = 0;
     ec.capacity = cfg.edge_capacity;
+    ec.negative = negative;
+    // The planted poisoning defect lives in the edge arm's PoP.
+    ec.vulnerable_keying = mutate == Mutation::UnkeyedHeader;
     if (cfg.flash) {
       ec.flash.capacity = cfg.flash_capacity;
       ec.flash.device.read_latency = cfg.flash_read_latency;
@@ -189,7 +230,14 @@ ArmResult run_arm(const RoundConfig& cfg, core::StrategyKind kind,
     const DiffUser& du = cfg.users[u];
     core::StrategyOptions opts;
     opts.byte_oracle = true;
-    opts.mutate_stale_serve = mutate;
+    opts.mutate_stale_serve = mutate == Mutation::StaleServe;
+    opts.negative_cache = negative;
+    if (behind_edge && mutate == Mutation::UnkeyedHeader) {
+      // Adversary strikes land on the shared PoP before each visit; the
+      // round seed keys its draw stream so repros replay exactly.
+      opts.adversary.enabled = true;
+      opts.adversary.seed = cfg.round_seed;
+    }
     opts.mobile_client = du.mobile;
     opts.edge_pop = pop.get();
     netsim::NetworkConditions cond = fleet::conditions_for(du.tier);
@@ -211,6 +259,8 @@ ArmResult run_arm(const RoundConfig& cfg, core::StrategyKind kind,
     arm.stats.fresh += st.fresh;
     arm.stats.allowed_stale += st.allowed_stale;
     arm.stats.violations += st.violations;
+    arm.stats.poisoned_serves += st.poisoned_serves;
+    arm.stats.cross_user_leaks += st.cross_user_leaks;
     arm.stats.unauditable += st.unauditable;
     for (const check::Violation& v : tb.byte_oracle->violations()) {
       arm.violations.push_back(v);
@@ -289,7 +339,7 @@ struct RoundOutcome {
   check::OracleStats totals;
 };
 
-RoundOutcome run_round(const RoundConfig& cfg, bool mutate) {
+RoundOutcome run_round(const RoundConfig& cfg, Mutation mutate) {
   RoundOutcome out;
   struct ArmSpec {
     const char* name;
@@ -312,17 +362,20 @@ RoundOutcome run_round(const RoundConfig& cfg, bool mutate) {
     out.totals.fresh += arm.stats.fresh;
     out.totals.allowed_stale += arm.stats.allowed_stale;
     out.totals.violations += arm.stats.violations;
+    out.totals.poisoned_serves += arm.stats.poisoned_serves;
+    out.totals.cross_user_leaks += arm.stats.cross_user_leaks;
     out.totals.unauditable += arm.stats.unauditable;
     if (arm.stats.violations != 0) {
       out.violations_caught = true;
       out.failed = true;
       const check::Violation& v = arm.violations.front();
       out.detail = str_format(
-          "%s arm: %llu oracle violation(s); first: %s served from %s "
-          "(digest %016llx, origin %016llx)",
+          "%s arm: %llu oracle violation(s); first: %s [%s] served from "
+          "%s (digest %016llx, origin %016llx)",
           spec.name,
           static_cast<unsigned long long>(arm.stats.violations),
-          v.url.c_str(), std::string(netsim::to_string(v.source)).c_str(),
+          v.url.c_str(), std::string(netsim::to_string(v.kind)).c_str(),
+          std::string(netsim::to_string(v.source)).c_str(),
           static_cast<unsigned long long>(v.served_digest),
           static_cast<unsigned long long>(v.expected_digest));
     }
@@ -343,7 +396,7 @@ RoundOutcome run_round(const RoundConfig& cfg, bool mutate) {
 
 /// Shrinks a failing config: each step keeps the change only if the round
 /// still fails. Order: cheapest semantic reductions first.
-RoundConfig minimize(RoundConfig cfg, bool mutate) {
+RoundConfig minimize(RoundConfig cfg, Mutation mutate) {
   auto still_fails = [mutate](const RoundConfig& c) {
     return run_round(c, mutate).failed;
   };
@@ -352,12 +405,24 @@ RoundConfig minimize(RoundConfig cfg, bool mutate) {
     c.faults = false;
     if (still_fails(c)) cfg = c;
   }
+  if (cfg.negative) {
+    RoundConfig c = cfg;
+    c.negative = false;
+    if (still_fails(c)) cfg = c;
+  }
+  if (cfg.dead_links > 0.0) {
+    RoundConfig c = cfg;
+    c.dead_links = 0.0;
+    if (still_fails(c)) cfg = c;
+  }
   if (cfg.flash) {
     RoundConfig c = cfg;
     c.flash = false;
     if (still_fails(c)) cfg = c;
   }
-  if (cfg.edge) {
+  // The unkeyed-header defect lives in the edge arm — dropping the edge
+  // would vacuously "fix" it, so skip that step under this mutation.
+  if (cfg.edge && mutate != Mutation::UnkeyedHeader) {
     RoundConfig c = cfg;
     c.edge = false;
     if (still_fails(c)) cfg = c;
@@ -399,14 +464,19 @@ RoundConfig minimize(RoundConfig cfg, bool mutate) {
 
 /// Renders the repro command line for a (possibly minimized) config.
 std::string repro_command(const RoundConfig& cfg, std::uint64_t base_seed,
-                          bool mutate) {
+                          Mutation mutate) {
   std::string cmd = str_format("tools/difftest --rounds 1 --seed %llu",
                                static_cast<unsigned long long>(
                                    cfg.round_seed));
   (void)base_seed;
-  if (mutate) cmd += " --mutate stale-serve";
+  if (mutate == Mutation::StaleServe) cmd += " --mutate stale-serve";
+  if (mutate == Mutation::UnkeyedHeader) cmd += " --mutate unkeyed-header";
   RoundConfig original = draw_round(cfg.round_seed);
   if (original.faults && !cfg.faults) cmd += " --no-faults";
+  if (original.negative && !cfg.negative) cmd += " --no-negative";
+  if (original.dead_links > 0.0 && cfg.dead_links == 0.0) {
+    cmd += " --no-dead-links";
+  }
   if (original.flash && !cfg.flash) cmd += " --no-flash";
   if (original.edge && !cfg.edge) cmd += " --no-edge";
   if (!original.static_site && cfg.static_site) cmd += " --static-site";
@@ -433,6 +503,8 @@ std::string repro_command(const RoundConfig& cfg, std::uint64_t base_seed,
 /// for narrowing exploration).
 void apply_overrides(RoundConfig& cfg, const Args& args) {
   if (args.has("no-faults")) cfg.faults = false;
+  if (args.has("no-negative")) cfg.negative = false;
+  if (args.has("no-dead-links")) cfg.dead_links = 0.0;
   if (args.has("no-flash")) cfg.flash = false;
   if (args.has("no-edge")) cfg.edge = false;
   if (args.has("static-site")) cfg.static_site = true;
@@ -452,18 +524,24 @@ void apply_overrides(RoundConfig& cfg, const Args& args) {
 void usage() {
   std::fprintf(
       stderr,
-      "usage: difftest --rounds N [--seed S] [--mutate stale-serve]\n"
+      "usage: difftest --rounds N [--seed S]\n"
+      "                [--mutate stale-serve|unkeyed-header]\n"
       "                [--verbose] [--users N] [--visits N] [--no-faults]\n"
       "                [--no-edge] [--no-flash] [--static-site]\n"
-      "                [--no-third-party]\n"
+      "                [--no-third-party] [--no-negative]\n"
+      "                [--no-dead-links]\n"
       "\n"
       "Runs N rounds of randomized differential testing: each round draws\n"
-      "a workload (site x TTL profile x change model x faults x edge) from\n"
-      "seed+round and replays it under Baseline, Catalyst, and Catalyst\n"
-      "behind an edge PoP, all through the byte-equivalence oracle.\n"
+      "a workload (site x TTL profile x change model x faults x edge x\n"
+      "negative caching x dead links) from seed+round and replays it under\n"
+      "Baseline, Catalyst, and Catalyst behind an edge PoP, all through\n"
+      "the byte-equivalence oracle.\n"
       "Exit 0: no violations and no unexplained content divergence.\n"
       "With --mutate stale-serve the broken StaleServeStrategy is injected\n"
-      "and the run passes (exit 0) only if the oracle catches it.\n");
+      "and the run passes (exit 0) only if the oracle catches it.\n"
+      "With --mutate unkeyed-header the edge PoP keys entries without\n"
+      "X-Forwarded-Host while a scripted adversary poisons it; the run\n"
+      "passes only if the oracle flags poisoned-serve/cross-user-leak.\n");
 }
 
 }  // namespace
@@ -478,13 +556,17 @@ int main(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(args.num("seed", 1));
   const bool verbose = args.has("verbose");
   const std::string mutate_name = args.get("mutate", "");
-  if (args.has("mutate") && mutate_name != "stale-serve") {
+  Mutation mutate = Mutation::None;
+  if (mutate_name == "stale-serve") {
+    mutate = Mutation::StaleServe;
+  } else if (mutate_name == "unkeyed-header") {
+    mutate = Mutation::UnkeyedHeader;
+  } else if (args.has("mutate")) {
     std::fprintf(stderr, "difftest: unknown mutation '%s'\n",
                  mutate_name.c_str());
     usage();
     return 2;
   }
-  const bool mutate = mutate_name == "stale-serve";
 
   int failures = 0;
   std::uint64_t first_catch_seed = 0;
@@ -493,11 +575,16 @@ int main(int argc, char** argv) {
     const std::uint64_t round_seed = seed + static_cast<std::uint64_t>(r);
     RoundConfig cfg = draw_round(round_seed);
     apply_overrides(cfg, args);
+    // The unkeyed-header defect is planted in the edge arm's PoP; a round
+    // without that arm can never catch it.
+    if (mutate == Mutation::UnkeyedHeader) cfg.edge = true;
     const RoundOutcome out = run_round(cfg, mutate);
     totals.checked += out.totals.checked;
     totals.fresh += out.totals.fresh;
     totals.allowed_stale += out.totals.allowed_stale;
     totals.violations += out.totals.violations;
+    totals.poisoned_serves += out.totals.poisoned_serves;
+    totals.cross_user_leaks += out.totals.cross_user_leaks;
     totals.unauditable += out.totals.unauditable;
     if (verbose || out.failed) {
       std::fprintf(stderr,
@@ -514,17 +601,25 @@ int main(int argc, char** argv) {
     ++failures;
     if (first_catch_seed == 0) first_catch_seed = round_seed;
     std::fprintf(stderr, "  %s\n", out.detail.c_str());
-    if (mutate && out.violations_caught) {
+    // unkeyed-header must be caught *as* poisoning, not as an incidental
+    // staleness violation.
+    const bool caught =
+        mutate == Mutation::StaleServe
+            ? out.violations_caught
+            : out.totals.poisoned_serves + out.totals.cross_user_leaks != 0;
+    if (mutate != Mutation::None && caught) {
       // The mutation is supposed to fail; one catching seed is the
       // deliverable. Minimize it and stop.
       const RoundConfig minimal = minimize(cfg, mutate);
       std::printf(
-          "MUTATION CAUGHT: StaleServeStrategy flagged by the oracle\n"
+          "MUTATION CAUGHT: %s flagged by the oracle\n"
           "repro: %s\n",
+          mutate == Mutation::StaleServe ? "StaleServeStrategy"
+                                         : "unkeyed-header poisoning",
           repro_command(minimal, seed, mutate).c_str());
       return 0;
     }
-    if (!mutate) {
+    if (mutate == Mutation::None) {
       const RoundConfig minimal = minimize(cfg, mutate);
       std::printf("FAILURE (round %d)\n  %s\n  repro: %s\n", r,
                   out.detail.c_str(),
@@ -534,16 +629,21 @@ int main(int argc, char** argv) {
 
   std::printf(
       "difftest: %d round(s), %d failure(s); oracle checked %llu "
-      "(fresh %llu, allowed-stale %llu, violations %llu, unauditable "
-      "%llu)\n",
+      "(fresh %llu, allowed-stale %llu, violations %llu, poisoned %llu, "
+      "leaks %llu, unauditable %llu)\n",
       rounds, failures, static_cast<unsigned long long>(totals.checked),
       static_cast<unsigned long long>(totals.fresh),
       static_cast<unsigned long long>(totals.allowed_stale),
       static_cast<unsigned long long>(totals.violations),
+      static_cast<unsigned long long>(totals.poisoned_serves),
+      static_cast<unsigned long long>(totals.cross_user_leaks),
       static_cast<unsigned long long>(totals.unauditable));
-  if (mutate) {
-    std::printf("MUTATION SURVIVED: the oracle failed to catch "
-                "StaleServeStrategy in %d round(s)\n", rounds);
+  if (mutate != Mutation::None) {
+    std::printf("MUTATION SURVIVED: the oracle failed to catch %s "
+                "in %d round(s)\n",
+                mutate == Mutation::StaleServe ? "StaleServeStrategy"
+                                               : "unkeyed-header poisoning",
+                rounds);
     return 1;
   }
   return failures == 0 ? 0 : 1;

@@ -87,7 +87,10 @@ void usage() {
       "                [--fault-seed S] [--edge-pops N]\n"
       "                [--edge-capacity-mb M] [--edge-origin-rtt-ms R]\n"
       "                [--edge-no-admission] [--edge-flash-mb M]\n"
-      "                [--edge-flash-lat-us U] [--edge-flash-qd Q] [--json]\n"
+      "                [--edge-flash-lat-us U] [--edge-flash-qd Q]\n"
+      "                [--negative-ttl-s T] [--dead-links F] [--adversary]\n"
+      "                [--adversary-rate R] [--adversary-seed S]\n"
+      "                [--vulnerable-keying] [--json]\n"
       "\n"
       "  --loss P       per-request fault probability: P mid-stream drops\n"
       "                 plus P/4 silent stalls (default 0: no fault layer)\n"
@@ -106,6 +109,21 @@ void usage() {
       "  --oracle       audit every serve against origin ground truth\n"
       "                 (byte-equivalence oracle; adds an \"oracle\"\n"
       "                 report section; off by default)\n"
+      "  --negative-ttl-s T  cache 404/410 responses for up to T seconds\n"
+      "                 (RFC 9111 s4) in the browser cache, the SW and any\n"
+      "                 edge PoPs (default off: errors are never cached)\n"
+      "  --dead-links F site error model intensity, F in [0,1]: each image/\n"
+      "                 JSON slot gains a dead (404) reference with prob. F,\n"
+      "                 a retired (410) one with F/2; JSON endpoints turn\n"
+      "                 soft-404 with F/4 (default 0: no broken links)\n"
+      "  --adversary    scripted attacker per testbed: cache-poisoning\n"
+      "                 requests (unkeyed X-Forwarded-Host) and timing\n"
+      "                 probes against the edge tier; requires --edge-pops\n"
+      "  --adversary-rate R   poisoning requests per strike (default 4)\n"
+      "  --adversary-seed S   attacker RNG stream seed (default 0xadba5e)\n"
+      "  --vulnerable-keying  PLANTED DEFECT: edge cache keys ignore\n"
+      "                 X-Forwarded-Host, letting poison land; only for\n"
+      "                 oracle self-tests (difftest --mutate unkeyed-header)\n"
       "  --trace-users N  record replayable JSONL traces for users 0..N-1\n"
       "  --trace-out F    write recorded traces to file F (requires\n"
       "                   --trace-users; '-' for stdout)\n");
@@ -194,6 +212,78 @@ int main(int argc, char** argv) {
   params.edge.flash_read_latency =
       Duration{static_cast<std::int64_t>(flash_lat_us * 1000.0)};
   params.edge.flash_queue_depth = static_cast<int>(flash_qd);
+
+  // Negative caching (default-off). A zero/negative TTL is a config error,
+  // not "disable": the user asked for negative caching and got none.
+  if (args.has("negative-ttl-s")) {
+    const double ttl_s = args.num("negative-ttl-s", 0);
+    if (ttl_s <= 0) {
+      std::fprintf(stderr,
+                   "fleetsim: --negative-ttl-s must be a positive number "
+                   "of seconds (got %s)\n",
+                   args.get("negative-ttl-s", "").c_str());
+      return 2;
+    }
+    cache::NegativePolicy negative;
+    negative.enabled = true;
+    negative.default_ttl = seconds_f(ttl_s);
+    if (negative.default_ttl > negative.max_ttl) {
+      negative.max_ttl = negative.default_ttl;
+    }
+    params.options.negative_cache = negative;
+    params.edge.negative = negative;
+  }
+
+  // Site error model (default-off; zero fractions keep the generated
+  // catalog byte-identical to pre-error-model builds).
+  const double dead_links = args.num("dead-links", 0.0);
+  if (args.has("dead-links") && (dead_links < 0.0 || dead_links > 1.0)) {
+    std::fprintf(stderr,
+                 "fleetsim: --dead-links must be a fraction in [0,1] "
+                 "(got %s)\n",
+                 args.get("dead-links", "").c_str());
+    return 2;
+  }
+  params.user_model.dead_link_fraction = dead_links;
+  params.user_model.gone_link_fraction = dead_links / 2.0;
+  params.user_model.soft404_fraction = dead_links / 4.0;
+
+  // Adversary (default-off). The attack needs a shared cache to poison:
+  // adversary flags without an edge tier are a config error, as are
+  // attack-tuning flags without --adversary.
+  const bool any_adversary_flag = args.has("adversary") ||
+                                  args.has("adversary-rate") ||
+                                  args.has("adversary-seed") ||
+                                  args.has("vulnerable-keying");
+  if (any_adversary_flag && params.edge.pops <= 0) {
+    std::fprintf(stderr,
+                 "fleetsim: --adversary/--vulnerable-keying target the "
+                 "edge tier; add --edge-pops N\n");
+    return 2;
+  }
+  if ((args.has("adversary-rate") || args.has("adversary-seed")) &&
+      !args.has("adversary")) {
+    std::fprintf(stderr,
+                 "fleetsim: --adversary-rate/--adversary-seed require "
+                 "--adversary\n");
+    return 2;
+  }
+  const double adversary_rate = args.num("adversary-rate", 4);
+  if (args.has("adversary-rate") && adversary_rate < 1) {
+    std::fprintf(stderr,
+                 "fleetsim: --adversary-rate must be at least 1 request "
+                 "per strike (got %s)\n",
+                 args.get("adversary-rate", "").c_str());
+    return 2;
+  }
+  if (args.has("adversary")) {
+    params.options.adversary.enabled = true;
+    params.options.adversary.requests_per_strike =
+        static_cast<int>(adversary_rate);
+    params.options.adversary.seed = static_cast<std::uint64_t>(
+        args.num("adversary-seed", 0xadba5e));
+  }
+  params.edge.vulnerable_keying = args.has("vulnerable-keying");
 
   // Correctness oracle + trace recording (default-off; both keep the
   // default report byte-identical to pre-oracle builds).

@@ -62,6 +62,7 @@ stage_diff() {
   cmake --build "$BUILD_DIR" -j"$JOBS" --target difftest fleetsim
   "./$BUILD_DIR/tools/difftest" --rounds 50 --seed 1
   "./$BUILD_DIR/tools/difftest" --rounds 50 --seed 1 --mutate stale-serve
+  "./$BUILD_DIR/tools/difftest" --rounds 10 --seed 1 --mutate unkeyed-header
 
   echo "== oracle-off byte-identity =="
   # With --oracle off the report must not grow an "oracle" section, and
@@ -93,6 +94,30 @@ stage_diff() {
       --edge-capacity-mb 1 --edge-flash-mb 16 --threads 8 --json \
       2>/dev/null > /tmp/flash_t8.json
   cmp /tmp/flash_t1.json /tmp/flash_t8.json
+
+  echo "== adversarial gate =="
+  # Attack traffic against the default strict keying must audit clean,
+  # and the planted vulnerability (--vulnerable-keying) must be
+  # convicted with poisoning-class violations. Adversary-on runs stay
+  # bit-identical across thread counts like everything else.
+  "./$BUILD_DIR/tools/fleetsim" --users 40 --seed 7 --edge-pops 2 \
+      --adversary --oracle --threads 1 --json 2>/dev/null \
+      > /tmp/adv_strict_t1.json
+  "./$BUILD_DIR/tools/fleetsim" --users 40 --seed 7 --edge-pops 2 \
+      --adversary --oracle --threads 4 --json 2>/dev/null \
+      > /tmp/adv_strict_t4.json
+  cmp /tmp/adv_strict_t1.json /tmp/adv_strict_t4.json
+  if grep -q '"poisoned_serves"' /tmp/adv_strict_t1.json; then
+    echo "FAIL: strict keying reported poisoned serves" >&2
+    exit 1
+  fi
+  "./$BUILD_DIR/tools/fleetsim" --users 40 --seed 7 --edge-pops 2 \
+      --adversary --vulnerable-keying --oracle --json 2>/dev/null \
+      > /tmp/adv_vuln.json
+  if ! grep -q '"poisoned_serves"' /tmp/adv_vuln.json; then
+    echo "FAIL: vulnerable keying escaped the oracle" >&2
+    exit 1
+  fi
 }
 
 stage_perf() {
