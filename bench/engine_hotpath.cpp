@@ -17,6 +17,12 @@
 //               events/sec drops below min_ratio (default 0.8) of the
 //               baseline — the CI perf gate
 // --users N     explicit macro fleet size (overrides --smoke default)
+// --self-profile  enable the obs wall-clock subsystem timers; adds a
+//               "self_profile" JSON section and a stderr table
+// --overhead-gate  run the macro fleet with the phase breakdown off vs
+//               on (best of 2 each) and exit 1 when breakdown-on drops
+//               below overhead_ratio (default 0.97) of breakdown-off —
+//               the observability overhead gate
 //
 // Timing numbers are hardware-dependent; baselines only make sense
 // against runs on comparable machines (see BENCHMARKS.md).
@@ -32,6 +38,7 @@
 
 #include "fleet/runner.h"
 #include "netsim/event_loop.h"
+#include "obs/selfprof.h"
 #include "util/flat_hash.h"
 #include "util/intern.h"
 #include "util/json.h"
@@ -137,11 +144,12 @@ struct MacroResult {
   double wall_s = 0.0;
   double events_per_sec = 0.0;
   double users_per_sec = 0.0;
+  obs::ProfCounters prof;  // merged shard self-profile counters
 };
 
 /// Fleet replay shaped like the fleetsim reference config (faults + edge
 /// on, catalyst vs baseline), scaled down by --smoke.
-MacroResult run_macro(std::uint64_t users, int threads) {
+MacroResult run_macro(std::uint64_t users, int threads, bool breakdown) {
   fleet::FleetParams params;
   params.strategy = core::StrategyKind::Catalyst;
   params.baseline = core::StrategyKind::Baseline;
@@ -152,6 +160,7 @@ MacroResult run_macro(std::uint64_t users, int threads) {
   params.faults.stall_rate = 0.0025;
   params.faults.fault_seed = 2024;
   params.edge.pops = 4;
+  params.breakdown = breakdown;
 
   fleet::FleetRunner runner(params, users, threads);
   const double t0 = now_s();
@@ -165,6 +174,7 @@ MacroResult run_macro(std::uint64_t users, int threads) {
   r.events_per_sec =
       wall > 0 ? static_cast<double>(report.events_executed) / wall : 0.0;
   r.users_per_sec = wall > 0 ? static_cast<double>(users) / wall : 0.0;
+  r.prof = report.prof;
   return r;
 }
 
@@ -218,14 +228,21 @@ double baseline_events_per_sec(const std::string& path) {
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  bool self_profile = false;
+  bool overhead_gate = false;
   std::string out_path;
   std::string baseline_path;
   std::uint64_t users = 0;
   double min_ratio = 0.8;
+  double overhead_ratio = 0.97;  // breakdown-on must keep 97% throughput
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--smoke") {
       smoke = true;
+    } else if (arg == "--self-profile") {
+      self_profile = true;
+    } else if (arg == "--overhead-gate") {
+      overhead_gate = true;
     } else if (arg == "--out" && i + 1 < argc) {
       out_path = argv[++i];
     } else if (arg == "--baseline" && i + 1 < argc) {
@@ -234,15 +251,48 @@ int main(int argc, char** argv) {
       users = static_cast<std::uint64_t>(std::atoll(argv[++i]));
     } else if (arg == "--min-ratio" && i + 1 < argc) {
       min_ratio = std::atof(argv[++i]);
+    } else if (arg == "--overhead-ratio" && i + 1 < argc) {
+      overhead_ratio = std::atof(argv[++i]);
     } else {
       std::fprintf(stderr,
                    "usage: engine_hotpath [--smoke] [--out FILE]\n"
                    "                      [--baseline FILE] [--users N]\n"
-                   "                      [--min-ratio R]\n");
+                   "                      [--min-ratio R] [--self-profile]\n"
+                   "                      [--overhead-gate]\n"
+                   "                      [--overhead-ratio R]\n");
       return 2;
     }
   }
   if (users == 0) users = smoke ? 200 : 1000;
+  obs::set_timing(self_profile);
+
+  if (overhead_gate) {
+    // Observability overhead gate: the same macro fleet with the phase
+    // breakdown off vs on. Interleaved best-of-2 per arm so one noisy
+    // CI neighbour can't fail (or pass) the gate by itself.
+    double best_off = 0.0;
+    double best_on = 0.0;
+    for (int rep = 0; rep < 2; ++rep) {
+      best_off = std::max(
+          best_off, run_macro(users, /*threads=*/8, false).events_per_sec);
+      best_on = std::max(
+          best_on, run_macro(users, /*threads=*/8, true).events_per_sec);
+    }
+    const double ratio = best_off > 0.0 ? best_on / best_off : 0.0;
+    std::fprintf(stderr,
+                 "engine_hotpath: overhead gate: breakdown off %.0f, "
+                 "on %.0f events/sec (%.3fx, gate %.2fx)\n",
+                 best_off, best_on, ratio, overhead_ratio);
+    if (ratio < overhead_ratio) {
+      std::fprintf(stderr,
+                   "engine_hotpath: FAIL — --breakdown costs more than "
+                   "%.0f%% of macro throughput\n",
+                   (1.0 - overhead_ratio) * 100.0);
+      return 1;
+    }
+    std::fprintf(stderr, "engine_hotpath: PASS overhead gate\n");
+    return 0;
+  }
 
   const std::size_t iters = smoke ? 200'000 : 2'000'000;
   Json micro = Json::object();
@@ -257,9 +307,15 @@ int main(int argc, char** argv) {
 
   std::fprintf(stderr, "engine_hotpath: macro fleet %llu users...\n",
                static_cast<unsigned long long>(users));
-  const MacroResult macro = run_macro(users, /*threads=*/8);
+  const MacroResult macro = run_macro(users, /*threads=*/8,
+                                      /*breakdown=*/false);
 
-  const Json result = to_json(smoke, micro, macro);
+  Json result = to_json(smoke, micro, macro);
+  if (self_profile) {
+    // Wall-clock numbers: useful to a human reading this run's JSON,
+    // never compared against baselines.
+    result.set("self_profile", macro.prof.to_json(macro.wall_s));
+  }
   const std::string dump = result.dump();
   std::printf("%s\n", dump.c_str());
   if (!out_path.empty()) {
@@ -277,6 +333,9 @@ int main(int argc, char** argv) {
                "engine_hotpath: macro %.2f s wall, %.0f events/sec, "
                "%.1f users/sec\n",
                macro.wall_s, macro.events_per_sec, macro.users_per_sec);
+  if (self_profile) {
+    std::fprintf(stderr, "%s", macro.prof.render_table(macro.wall_s).c_str());
+  }
 
   if (!baseline_path.empty()) {
     const double base = baseline_events_per_sec(baseline_path);

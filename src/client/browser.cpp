@@ -3,6 +3,8 @@
 #include <stdexcept>
 
 #include "client/page_loader.h"
+#include "obs/recorder.h"
+#include "obs/selfprof.h"
 #include "server/session.h"
 #include "util/bloom.h"
 
@@ -87,6 +89,10 @@ void Browser::on_push(const std::string& origin_host,
       FetchOutcome outcome;
       outcome.response = push.response;
       outcome.source = netsim::FetchSource::Push;
+      if (auto* rec = loop().recorder()) {
+        rec->record(obs::Phase::kCacheLookup,
+                    config_.processing.cache_hit_overhead);
+      }
       deliver(start, config_.processing.cache_hit_overhead,
               std::move(outcome), std::move(on_done));
     }
@@ -146,12 +152,15 @@ void Browser::fetch(const Url& url, bool is_navigation,
                     const std::optional<Url>& referer,
                     std::function<void(FetchOutcome)> on_done) {
   const TimePoint start = loop().now();
+  obs::count(obs::Sub::kClient);
+  obs::ScopedTimer prof_timer(obs::Sub::kClient);
   Duration pipeline_delay = Duration::zero();
 
   // 1. Service Worker interception.
   const bool through_sw = sw_registered(url.host);
   bool force_revalidate = false;
   if (through_sw) {
+    obs::count(obs::Sub::kSw);
     pipeline_delay += config_.processing.sw_interception_overhead;
     CatalystServiceWorker& sw = service_worker(url.host);
     if (is_navigation) {
@@ -169,6 +178,9 @@ void Browser::fetch(const Url& url, bool is_navigation,
           if (audit_) {
             const auto etag = outcome.response.etag();
             outcome.stale = etag && !audit_(url, *etag);
+          }
+          if (auto* rec = loop().recorder()) {
+            rec->record(obs::Phase::kSwDecision, pipeline_delay);
           }
           deliver(start, pipeline_delay, std::move(outcome),
                   std::move(on_done));
@@ -213,6 +225,10 @@ void Browser::network_fetch(const Url& url, bool is_navigation,
       FetchOutcome outcome;
       outcome.response = lookup.entry->response;
       outcome.source = netsim::FetchSource::BrowserCache;
+      if (auto* rec = loop().recorder()) {
+        rec->record(obs::Phase::kCacheLookup,
+                    config_.processing.cache_hit_overhead);
+      }
       deliver(start, config_.processing.cache_hit_overhead,
               std::move(outcome), std::move(on_done));
       return;
@@ -252,6 +268,10 @@ void Browser::network_fetch(const Url& url, bool is_navigation,
       // suspect only when an ETag exists and mismatches.
       outcome.stale = etag && !audit_(url, *etag);
     }
+    if (auto* rec = loop().recorder()) {
+      rec->record(obs::Phase::kCacheLookup,
+                  config_.processing.cache_hit_overhead);
+    }
     deliver(start, config_.processing.cache_hit_overhead,
             std::move(outcome), std::move(on_done));
     return;
@@ -265,6 +285,10 @@ void Browser::network_fetch(const Url& url, bool is_navigation,
     outcome.response = std::move(it->second);
     outcome.source = netsim::FetchSource::Push;
     pending_pushes_.erase(it);
+    if (auto* rec = loop().recorder()) {
+      rec->record(obs::Phase::kCacheLookup,
+                  config_.processing.cache_hit_overhead);
+    }
     deliver(start, config_.processing.cache_hit_overhead,
             std::move(outcome), std::move(on_done));
     return;

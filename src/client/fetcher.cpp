@@ -1,5 +1,7 @@
 #include "client/fetcher.h"
 
+#include "obs/recorder.h"
+
 namespace catalyst::client {
 
 /// One logical request moving through the resilient path. Attempt tokens
@@ -169,6 +171,9 @@ void Fetcher::retry_or_fail(const std::shared_ptr<PendingFetch>& fetch) {
   for (int i = 1; i < retries_done; ++i) scale *= r.backoff_multiplier;
   Duration delay = seconds_f(to_seconds(r.backoff_base) * scale);
   if (delay > r.backoff_cap) delay = r.backoff_cap;
+  if (auto* rec = network_.loop().recorder()) {
+    rec->record(obs::Phase::kBackoff, delay);
+  }
   auto self = fetch;
   network_.loop().schedule_after(delay, [this, self] {
     if (self->settled) return;

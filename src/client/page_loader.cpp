@@ -4,6 +4,7 @@
 
 #include "client/browser.h"
 #include "html/css.h"
+#include "obs/recorder.h"
 #include "util/hash.h"
 #include "html/link_extract.h"
 #include "html/parser.h"
@@ -208,6 +209,10 @@ bool PageLoader::fetch_subresource(
     FetchOutcome outcome = std::move(it->second);
     preloaded_.erase(it);
     outcome.start = browser_.loop().now();
+    if (auto* rec = browser_.loop().recorder()) {
+      rec->record(obs::Phase::kCacheLookup,
+                  browser_.processing().cache_hit_overhead);
+    }
     browser_.loop().schedule_after(
         browser_.processing().cache_hit_overhead,
         [deliver = std::move(deliver), outcome = std::move(outcome),

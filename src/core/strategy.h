@@ -15,6 +15,10 @@ namespace catalyst::edge {
 class EdgePop;
 }  // namespace catalyst::edge
 
+namespace catalyst::obs {
+class Recorder;
+}  // namespace catalyst::obs
+
 namespace catalyst::core {
 
 enum class StrategyKind {
@@ -114,6 +118,13 @@ struct StrategyOptions {
   /// (a negative-caching origin opting in to explicit error freshness).
   /// Unset keeps error responses headerless as before.
   std::optional<http::CacheControl> error_cache_control;
+
+  /// Per-request latency phase recorder (obs::Recorder, non-owning like
+  /// edge_pop; nullptr — the default — records nothing). make_testbed
+  /// attaches it to the testbed's EventLoop; every instrumented subsystem
+  /// reaches it from there. Pure observation on the virtual clock: wiring
+  /// a recorder never changes simulation outcomes.
+  obs::Recorder* phase_recorder = nullptr;
 
   /// Scripted attacker (workload::Adversary): poisoning requests with
   /// unkeyed X-Forwarded-Host payloads plus cache-timing probes against

@@ -14,6 +14,7 @@ Testbed make_testbed(std::shared_ptr<server::Site> site,
   tb.conditions = conditions;
   tb.site = std::move(site);
   tb.loop = std::make_unique<netsim::EventLoop>();
+  tb.loop->set_recorder(options.phase_recorder);
   tb.network = std::make_unique<netsim::Network>(*tb.loop);
   tb.network->set_model_slow_start(options.slow_start);
   tb.network->set_dns_lookup(options.dns_lookup);

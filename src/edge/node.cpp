@@ -4,6 +4,8 @@
 
 #include "http/conditional.h"
 #include "http/date.h"
+#include "obs/recorder.h"
+#include "obs/selfprof.h"
 #include "util/strings.h"
 
 namespace catalyst::edge {
@@ -67,12 +69,14 @@ http::Request EdgeNode::build_upstream(const http::Request& client) const {
 void EdgeNode::handle(const http::Request& request,
                       std::function<void(netsim::ServerReply)> respond) {
   const TimePoint now = network_.loop().now();
+  obs::count(obs::Sub::kEdge);
+  obs::ScopedTimer prof_timer(obs::Sub::kEdge);
   const std::string key = cache_key(request);
   pop_.note_request(key);
 
   const EdgeLookupResult found = pop_.lookup(key, now);
   if (found.decision == EdgeLookupDecision::Fresh) {
-    reply_to_waiter(Waiter{request, std::move(respond)},
+    reply_to_waiter(Waiter{request, std::move(respond), now},
                     found.entry->response, Served::Hit);
     return;
   }
@@ -87,7 +91,7 @@ void EdgeNode::handle(const http::Request& request,
     } else {
       pop_.note_coalesced();
     }
-    pending->waiters.push_back(Waiter{request, std::move(respond)});
+    pending->waiters.push_back(Waiter{request, std::move(respond), now});
     return;
   }
 
@@ -100,7 +104,7 @@ void EdgeNode::handle(const http::Request& request,
     Fill fill;
     fill.request_time = now;
     fill.flash_read = true;
-    fill.waiters.push_back(Waiter{request, std::move(respond)});
+    fill.waiters.push_back(Waiter{request, std::move(respond), now});
     inflight_.insert_or_assign(key_id, std::move(fill));
     aio_->submit_read(key, pop_.flash_entry_cost(key),
                       [this, key]() { on_flash_read(key); });
@@ -109,7 +113,7 @@ void EdgeNode::handle(const http::Request& request,
 
   Fill fill;
   fill.request_time = now;
-  fill.waiters.push_back(Waiter{request, std::move(respond)});
+  fill.waiters.push_back(Waiter{request, std::move(respond), now});
 
   // The upstream request is built fresh: client conditionals must not leak
   // upstream (a 304 against the *client's* validator would leave the edge
@@ -294,6 +298,14 @@ void EdgeNode::reply_to_waiter(const Waiter& waiter,
     case Served::Miss:
       pop_.note_miss();
       break;
+  }
+
+  if (auto* rec = network_.loop().recorder()) {
+    // Server-side decomposition of the client's Ttfb: PoP arrival to
+    // reply dispatch (including the processing delay about to be paid).
+    rec->record(obs::Phase::kEdgeLookup,
+                network_.loop().now() + pop_.config().processing_delay -
+                    waiter.arrival);
   }
 
   netsim::ServerReply server_reply;

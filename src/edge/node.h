@@ -56,6 +56,7 @@ class EdgeNode {
   struct Waiter {
     http::Request request;
     std::function<void(netsim::ServerReply)> respond;
+    TimePoint arrival{};  // when the request reached the PoP (obs phase)
   };
 
   /// One in-flight fetch — an origin exchange, or (flash_read) an async

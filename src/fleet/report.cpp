@@ -29,6 +29,27 @@ std::string stat_row(const Summary& s) {
                     s.percentile(50), s.percentile(95), s.percentile(99));
 }
 
+/// Per-phase quantile object: only phases with samples appear, so a run
+/// that never touched flash (say) emits no "flash_io" key. Everything is
+/// computed from integer bucket counts, so the bytes are a pure function
+/// of the merged histograms — bit-identical for any --threads.
+Json phases_json(const obs::PhaseBreakdown& b) {
+  Json obj = Json::object();
+  for (obs::Phase p : obs::kAllPhases) {
+    const obs::PhaseHistogram& h = b.of(p);
+    if (h.empty()) continue;
+    Json e = Json::object();
+    e.set("count", Json::number(static_cast<double>(h.count())));
+    e.set("total_ms",
+          Json::number(static_cast<double>(h.total_ns()) / 1e6));
+    e.set("p50_ms", Json::number(h.quantile_ms(50)));
+    e.set("p95_ms", Json::number(h.quantile_ms(95)));
+    e.set("p99_ms", Json::number(h.quantile_ms(99)));
+    obj.set(std::string(obs::to_string(p)), std::move(e));
+  }
+  return obj;
+}
+
 }  // namespace
 
 void EdgePopReport::merge(const EdgePopReport& other) {
@@ -86,6 +107,9 @@ void FleetReport::merge(const FleetReport& other) {
     edge_pops[pop].merge(stats);
   }
   events_executed += other.events_executed;
+  phases.merge(other.phases);
+  baseline_phases.merge(other.baseline_phases);
+  prof.merge(other.prof);
   bytes_on_wire += other.bytes_on_wire;
   baseline_bytes_on_wire += other.baseline_bytes_on_wire;
   rtts += other.rtts;
@@ -264,6 +288,16 @@ Json FleetReport::to_json() const {
     j.set("edge", std::move(e));
   }
 
+  // Only present when --breakdown recorded something: breakdown-off
+  // reports must serialize to the exact bytes they produced before the
+  // obs layer existed.
+  if (phases.any()) {
+    j.set("phases", phases_json(phases));
+  }
+  if (baseline_phases.any()) {
+    j.set("baseline_phases", phases_json(baseline_phases));
+  }
+
   j.set("bytes_on_wire", Json::number(static_cast<double>(bytes_on_wire)));
   j.set("baseline_bytes_on_wire",
         Json::number(static_cast<double>(baseline_bytes_on_wire)));
@@ -416,6 +450,20 @@ std::string FleetReport::render_table(const std::string& title) const {
                     format_bytes(static_cast<ByteCount>(
                                      bytes < 0 ? -bytes : bytes))
                         .c_str())});
+  }
+  if (phases.any()) {
+    table.add_separator();
+    for (obs::Phase p : obs::kAllPhases) {
+      const obs::PhaseHistogram& h = phases.of(p);
+      if (h.empty()) continue;
+      table.add_row(
+          {str_format("phase %s (ms)",
+                      std::string(obs::to_string(p)).c_str()),
+           str_format("n %llu  p50 %.2f  p95 %.2f  p99 %.2f",
+                      static_cast<unsigned long long>(h.count()),
+                      h.quantile_ms(50), h.quantile_ms(95),
+                      h.quantile_ms(99))});
+    }
   }
   table.add_separator();
   table.add_row({"revisit PLT (ms)", stat_row(plt_ms)});

@@ -11,6 +11,8 @@
 #include <map>
 #include <string>
 
+#include "obs/recorder.h"
+#include "obs/selfprof.h"
 #include "util/json.h"
 #include "util/stats.h"
 #include "util/types.h"
@@ -117,6 +119,20 @@ struct FleetReport {
   /// deliberately NOT serialized, so reports stay byte-identical across
   /// builds with different engine internals.
   std::uint64_t events_executed = 0;
+
+  /// Per-phase virtual-time latency breakdowns (FleetParams::breakdown),
+  /// one per strategy arm. Integer-bucket histograms merge exactly, so
+  /// the "phases" JSON section is bit-identical for any --threads; empty
+  /// (breakdown off) serializes to nothing, keeping default reports
+  /// byte-identical to pre-obs builds.
+  obs::PhaseBreakdown phases;           // treatment arm
+  obs::PhaseBreakdown baseline_phases;  // baseline arm
+
+  /// Wall-clock self-profile counters captured around each shard's run
+  /// (obs::tls_prof deltas). Merged at shard join, deliberately NOT
+  /// serialized — wall-clock numbers must never touch byte-stable
+  /// reports; fleetsim --self-profile prints them to stderr.
+  obs::ProfCounters prof;
 
   /// Wire totals across all treatment visits, and the same users replayed
   /// under the baseline strategy (zero when no baseline was run).

@@ -1,6 +1,7 @@
 #include "fleet/shard.h"
 
 #include "check/replay.h"
+#include "obs/selfprof.h"
 #include "workload/sitegen.h"
 
 namespace catalyst::fleet {
@@ -14,10 +15,12 @@ std::vector<client::PageLoadResult> replay_timeline(
     const std::shared_ptr<server::Site>& site, const UserProfile& profile,
     core::StrategyKind kind, core::StrategyOptions options,
     netsim::FaultSpec faults, edge::EdgePop* edge_pop,
-    Duration edge_origin_rtt) {
+    Duration edge_origin_rtt, obs::Recorder* recorder) {
   options.mobile_client = profile.mobile_client;
-  // Bind this arm's shared PoP (if any) into the user's private testbed.
+  // Bind this arm's shared PoP (if any) and phase recorder (if breakdown
+  // is on) into the user's private testbed.
   options.edge_pop = edge_pop;
+  options.phase_recorder = recorder;
   if (edge_pop != nullptr) options.edge_origin_rtt = edge_origin_rtt;
   netsim::NetworkConditions conditions = conditions_for(profile.tier);
   conditions.faults = faults;
@@ -51,17 +54,20 @@ std::shared_ptr<server::Site> Shard::site_for(int site_index) {
 }
 
 void Shard::replay_user(const UserProfile& profile, FleetReport& report) {
+  obs::count(obs::Sub::kFleet);
+  obs::ScopedTimer prof_timer(obs::Sub::kFleet);
   const auto site = site_for(profile.site_index);
-  const auto treat = replay_timeline(site, profile, params_.strategy,
-                                     params_.options, params_.faults,
-                                     treat_pop_.get(),
-                                     params_.edge.origin_rtt);
+  const auto treat = replay_timeline(
+      site, profile, params_.strategy, params_.options, params_.faults,
+      treat_pop_.get(), params_.edge.origin_rtt,
+      params_.breakdown ? &treat_recorder_ : nullptr);
   const bool compare = params_.baseline != params_.strategy;
   std::vector<client::PageLoadResult> base;
   if (compare) {
     base = replay_timeline(site, profile, params_.baseline, params_.options,
                            params_.faults, base_pop_.get(),
-                           params_.edge.origin_rtt);
+                           params_.edge.origin_rtt,
+                           params_.breakdown ? &base_recorder_ : nullptr);
   }
 
   report.users += 1;
@@ -146,6 +152,10 @@ void Shard::replay_user(const UserProfile& profile, FleetReport& report) {
 
 FleetReport Shard::run() {
   FleetReport report;
+  // Snapshot this thread's self-profile counters so the report carries
+  // exactly what this shard's replay cost (threads are reused across
+  // shards, so the raw thread-local totals would double-count).
+  const obs::ProfCounters prof_before = obs::tls_prof();
   if (params_.edge.enabled() && task_.pop >= 0) {
     edge::EdgeConfig ec;
     ec.pop_id = task_.pop;
@@ -216,6 +226,11 @@ FleetReport Shard::run() {
       e.aio_peak_inflight = s.aio.peak_inflight;
     }
   }
+  if (params_.breakdown) {
+    report.phases = treat_recorder_.breakdown();
+    report.baseline_phases = base_recorder_.breakdown();
+  }
+  report.prof = obs::tls_prof().delta(prof_before);
   return report;
 }
 

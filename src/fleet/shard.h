@@ -54,6 +54,13 @@ struct FleetParams {
   /// id < trace_users (0 = off). Keyed by user id in the report, so the
   /// exported stream is bit-identical for any --threads/--shard-size.
   std::uint64_t trace_users = 0;
+
+  /// Per-request phase breakdown (fleetsim --breakdown). Each shard owns
+  /// one obs::Recorder per strategy arm and exports the folded histograms
+  /// through FleetReport::phases / baseline_phases. Off (the default)
+  /// leaves the loop's recorder null and reports byte-identical to
+  /// pre-obs builds.
+  bool breakdown = false;
 };
 
 /// Contiguous user-id range [first_user, first_user + user_count). In
@@ -90,6 +97,10 @@ class Shard {
   // treatment PoP's stats are exported.
   std::unique_ptr<edge::EdgePop> treat_pop_;
   std::unique_ptr<edge::EdgePop> base_pop_;
+  // Breakdown mode: one recorder per arm, accumulated across every user
+  // in the batch (virtual time only — recording never perturbs replay).
+  obs::Recorder treat_recorder_;
+  obs::Recorder base_recorder_;
 };
 
 }  // namespace catalyst::fleet

@@ -3,6 +3,9 @@
 #include <cmath>
 #include <utility>
 
+#include "obs/recorder.h"
+#include "obs/selfprof.h"
+
 namespace catalyst::io {
 
 AioEngine::AioEngine(netsim::EventLoop& loop, const AioDeviceConfig& config,
@@ -39,6 +42,7 @@ void AioEngine::submit_write(ByteCount bytes, Completion done) {
 
 std::uint64_t AioEngine::enqueue(Op op) {
   const std::uint64_t id = next_id_++;
+  op.submitted = loop_.now();
   ops_.insert_or_assign(id, std::move(op));
   if (inflight_ < config_.queue_depth) {
     start_op(id);
@@ -61,6 +65,12 @@ void AioEngine::start_op(std::uint64_t id) {
 void AioEngine::finish_op(std::uint64_t id) {
   Op op = std::move(*ops_.find(id));
   ops_.erase(id);
+  obs::count(obs::Sub::kFlash);
+  if (auto* rec = loop_.recorder()) {
+    // Device-level decomposition: queue wait + service per op (merged
+    // readers share the op, so it is charged once).
+    rec->record(obs::Phase::kFlashIo, loop_.now() - op.submitted);
+  }
   if (op.read) {
     // Unregister before running completions: a completion may submit a
     // fresh read for the same key, which must become a new device op.

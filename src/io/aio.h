@@ -119,6 +119,7 @@ class AioEngine {
     bool read = false;
     InternId key = kNoIntern;  // merge identity (reads only)
     ByteCount bytes = 0;
+    TimePoint submitted{};  // queue wait + service = FlashIo obs phase
     std::vector<Completion> completions;
   };
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/selfprof.h"
+
 namespace catalyst::netsim {
 
 EventId EventLoop::schedule_at(TimePoint when, std::function<void()> fn) {
@@ -37,7 +39,11 @@ bool EventLoop::pop_one() {
     std::function<void()> fn = std::move(*slot);
     pool_.release(top.id);
     now_ = top.when;
-    fn();
+    obs::count(obs::Sub::kLoop);
+    {
+      obs::ScopedTimer timer(obs::Sub::kLoop);
+      fn();
+    }
     return true;
   }
   return false;

@@ -21,6 +21,10 @@
 #include "util/pool.h"
 #include "util/types.h"
 
+namespace catalyst::obs {
+class Recorder;
+}
+
 namespace catalyst::netsim {
 
 /// Handle for cancelling a scheduled event. Generation-tagged: ids are
@@ -63,6 +67,13 @@ class EventLoop {
   bool empty() const { return pool_.live() == 0; }
   std::size_t pending() const { return pool_.live(); }
 
+  /// Non-owning phase recorder hook. Every subsystem holds a loop (or a
+  /// Network that does), so this is the one place a breakdown consumer
+  /// needs to attach. Null by default: instrumentation sites check the
+  /// pointer and record nothing.
+  void set_recorder(obs::Recorder* recorder) { recorder_ = recorder; }
+  obs::Recorder* recorder() const { return recorder_; }
+
  private:
   struct Entry {
     TimePoint when;
@@ -82,6 +93,7 @@ class EventLoop {
   std::uint64_t next_seq_ = 0;
   std::vector<Entry> heap_;
   SlabPool<std::function<void()>> pool_;
+  obs::Recorder* recorder_ = nullptr;
 };
 
 }  // namespace catalyst::netsim

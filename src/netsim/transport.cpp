@@ -1,6 +1,9 @@
 #include "netsim/transport.h"
 
+#include <algorithm>
 #include <stdexcept>
+
+#include "obs/selfprof.h"
 
 namespace catalyst::netsim {
 
@@ -30,11 +33,21 @@ void Connection::connect(std::function<void()> on_established) {
   // pure RTTs.
   const int handshake_rtts = tls_ ? 2 : 1;
   rtts_consumed_ += handshake_rtts;
-  Duration handshake = network_.rtt(client_, server_) * handshake_rtts;
+  const Duration rtt = network_.rtt(client_, server_);
+  Duration handshake = rtt * handshake_rtts;
   if (resolve_dns_) handshake += network_.dns_lookup();
+  if (auto* rec = network_.loop().recorder()) {
+    // Handshake phases are charged once per connection, at initiation;
+    // the request that triggered the connect owns them (its queue phase
+    // starts at establishment — see PendingRequest::handshake_owner).
+    rec->record(obs::Phase::kConnect, rtt);
+    if (tls_) rec->record(obs::Phase::kTls, rtt);
+    if (resolve_dns_) rec->record(obs::Phase::kDns, network_.dns_lookup());
+  }
   network_.loop().schedule_after(handshake, [this] {
     if (state_ != State::Connecting) return;  // failed during handshake
     state_ = State::Established;
+    established_at_ = network_.loop().now();
     auto waiters = std::move(connect_waiters_);
     connect_waiters_.clear();
     for (auto& waiter : waiters) waiter();
@@ -70,10 +83,13 @@ void Connection::send_request(http::Request request,
     }
     return;
   }
+  const bool initiates_handshake = state_ == State::Idle;
   queue_.push_back(PendingRequest{std::move(request), std::move(on_response),
                                   std::move(on_push), std::move(on_promise),
                                   std::move(on_hints), std::move(on_error),
                                   FaultDecision{}});
+  queue_.back().enqueued = network_.loop().now();
+  queue_.back().handshake_owner = initiates_handshake;
   if (state_ != State::Established) {
     connect([] {});
     return;  // pump() runs on establishment
@@ -94,6 +110,17 @@ void Connection::pump() {
 void Connection::start_exchange(PendingRequest pending) {
   ++inflight_;
   ++rtts_consumed_;  // request leg + response leg propagation
+  obs::count(obs::Sub::kTransport);
+  if (network_.loop().recorder() != nullptr) {
+    const TimePoint now = network_.loop().now();
+    // Owner: handshake time is already in Dns/Connect/Tls, queue starts
+    // at establishment. Rider: the whole wait (including any handshake it
+    // rode) is queueing.
+    const TimePoint ready =
+        pending.handshake_owner ? established_at_ : pending.enqueued;
+    pending.timeline.add(obs::Phase::kQueue, now - ready);
+    pending.exchange_start = now;
+  }
   if (FaultPlan* plan = network_.fault_plan()) {
     pending.fault = plan->next_request();
   }
@@ -134,6 +161,7 @@ void Connection::start_exchange(PendingRequest pending) {
 }
 
 void Connection::deliver_reply(ServerReply reply, PendingRequest& pending) {
+  obs::ScopedTimer prof_timer(obs::Sub::kTransport);
   ResponseCallback on_response = std::move(pending.on_response);
   PushCallback on_push = std::move(pending.on_push);
   PromiseCallback on_promise = std::move(pending.on_promise);
@@ -228,17 +256,33 @@ void Connection::deliver_reply(ServerReply reply, PendingRequest& pending) {
   // delay before the response transfer starts.
   ramp_up += pending.fault.extra_latency;
 
+  // Close out the timeline: Ttfb ran from exchange start to this reply;
+  // everything from here to the last byte (ramp_up included) is Transfer.
+  obs::PhaseTimeline timeline = pending.timeline;
+  TimePoint reply_at{};
+  if (network_.loop().recorder() != nullptr) {
+    reply_at = network_.loop().now();
+    timeline.add(obs::Phase::kTtfb, reply_at - pending.exchange_start);
+  }
+
   auto shared_resp = std::make_shared<http::Response>(
       std::move(reply.response));
-  auto transfer = [this, response_bytes, shared_resp,
+  auto transfer = [this, response_bytes, shared_resp, reply_at, timeline,
                    cb = std::move(on_response)]() mutable {
-    network_.send_bytes(server_, client_, response_bytes,
-                        [this, shared_resp, cb = std::move(cb)] {
-                          --inflight_;
-                          ++requests_completed_;
-                          cb(std::move(*shared_resp));
-                          pump();
-                        });
+    network_.send_bytes(
+        server_, client_, response_bytes,
+        [this, shared_resp, reply_at, timeline,
+         cb = std::move(cb)]() mutable {
+          --inflight_;
+          ++requests_completed_;
+          if (auto* rec = network_.loop().recorder()) {
+            timeline.add(obs::Phase::kTransfer,
+                         network_.loop().now() - reply_at);
+            rec->record(timeline);
+          }
+          cb(std::move(*shared_resp));
+          pump();
+        });
   };
   if (ramp_up > Duration::zero()) {
     network_.loop().schedule_after(ramp_up, std::move(transfer));

@@ -14,6 +14,7 @@
 #include "http/message.h"
 #include "netsim/faults.h"
 #include "netsim/network.h"
+#include "obs/recorder.h"
 
 namespace catalyst::netsim {
 
@@ -101,6 +102,17 @@ class Connection {
     HintsCallback on_hints;
     ErrorCallback on_error;
     FaultDecision fault;  // decided when the exchange starts
+    // Phase-breakdown bookkeeping (inert unless a recorder is attached).
+    // A request that initiated the connection's handshake charges that
+    // wait to the Dns/Connect/Tls phases recorded at connect() time, so
+    // its queue phase starts at establishment; a request that merely
+    // rides an in-progress handshake (or waits behind h1 traffic)
+    // charges the whole wait to kQueue. Together the client phases of a
+    // fetch sum exactly to its duration.
+    TimePoint enqueued{};
+    TimePoint exchange_start{};
+    bool handshake_owner = false;
+    obs::PhaseTimeline timeline;
   };
 
   void start_exchange(PendingRequest pending);
@@ -117,6 +129,7 @@ class Connection {
   Protocol protocol_;
   bool resolve_dns_;
   State state_ = State::Idle;
+  TimePoint established_at_{};
   std::vector<std::function<void()>> connect_waiters_;
   std::deque<PendingRequest> queue_;  // H1 serialization
   std::size_t inflight_ = 0;

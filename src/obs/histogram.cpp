@@ -1,0 +1,52 @@
+#include "obs/histogram.h"
+
+#include <cmath>
+
+namespace catalyst::obs {
+
+const BinAxis& PhaseHistogram::axis() {
+  // 0..8 in log10(µs): 1 µs up to 100 s, 8 buckets per decade.
+  static const BinAxis kAxis(0.0, 8.0, kBuckets);
+  return kAxis;
+}
+
+void PhaseHistogram::add(Duration d) {
+  if (d.count() <= 0) return;
+  const double us = static_cast<double>(d.count()) / 1e3;
+  ++counts_[axis().index(std::log10(us))];
+  ++count_;
+  total_ns_ += static_cast<std::uint64_t>(d.count());
+}
+
+void PhaseHistogram::merge(const PhaseHistogram& other) {
+  for (std::size_t i = 0; i < kBuckets; ++i) counts_[i] += other.counts_[i];
+  count_ += other.count_;
+  total_ns_ += other.total_ns_;
+}
+
+double PhaseHistogram::quantile_ms(double p) const {
+  if (count_ == 0) return 0.0;
+  if (p < 0.0) p = 0.0;
+  if (p > 100.0) p = 100.0;
+  // Same rank convention as Summary::percentile: rank over count-1 slots.
+  const double rank = p / 100.0 * static_cast<double>(count_ - 1);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    if (counts_[i] == 0) continue;
+    const auto in_bucket = static_cast<double>(counts_[i]);
+    const double first = static_cast<double>(seen);
+    if (rank < first + in_bucket) {
+      // Geometric interpolation between the bucket's µs edges; sample
+      // positions spread evenly through the bucket.
+      const double frac = (rank - first + 0.5) / in_bucket;
+      const double lo_us = std::pow(10.0, axis().lower_edge(i));
+      const double hi_us = std::pow(10.0, axis().upper_edge(i));
+      return lo_us * std::pow(hi_us / lo_us, frac) / 1e3;
+    }
+    seen += counts_[i];
+  }
+  const double top_us = std::pow(10.0, axis().upper_edge(kBuckets - 1));
+  return top_us / 1e3;
+}
+
+}  // namespace catalyst::obs

@@ -1,0 +1,55 @@
+// Mergeable fixed-bucket log-scale latency histogram.
+//
+// The fleet needs per-phase p50/p95/p99 that are bit-identical for any
+// --threads value, which rules out Summary's keep-every-sample approach
+// for per-fetch phase data (millions of samples per arm). Instead each
+// shard folds samples into 64 fixed log10-spaced buckets (8 per decade,
+// 1 µs .. 100 s) with integer counts; merging shards is integer addition,
+// so it is commutative and exact, and quantiles computed from the merged
+// counts are a pure function of the totals. The bucket->index mapping is
+// the shared BinAxis core from util/stats applied in log10(µs) space.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "util/stats.h"
+#include "util/types.h"
+
+namespace catalyst::obs {
+
+class PhaseHistogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  /// log10(µs) axis: bucket i covers [10^(i/8), 10^((i+1)/8)) µs.
+  static const BinAxis& axis();
+
+  /// Folds one sample. Zero and negative durations are ignored — a phase
+  /// that took no time contributes nothing to where time went.
+  void add(Duration d);
+
+  /// Integer bucket addition; commutative and exact, so any merge order
+  /// over per-shard histograms yields identical bytes downstream.
+  void merge(const PhaseHistogram& other);
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t total_ns() const { return total_ns_; }
+  bool empty() const { return count_ == 0; }
+
+  /// Quantile in milliseconds, p in [0, 100]. Rank interpolation matches
+  /// Summary::percentile; within a bucket the value is geometrically
+  /// interpolated between the bucket edges (log-scale axis). Deterministic
+  /// given the integer bucket counts. Returns 0 when empty.
+  double quantile_ms(double p) const;
+
+  std::uint64_t bucket(std::size_t i) const { return counts_.at(i); }
+
+ private:
+  std::array<std::uint64_t, kBuckets> counts_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t total_ns_ = 0;
+};
+
+}  // namespace catalyst::obs

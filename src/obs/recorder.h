@@ -1,0 +1,97 @@
+// Phase recording: per-fetch timelines folded into per-arm breakdowns.
+//
+// A Recorder is owned by whoever wants a breakdown (a fleet Shard owns one
+// per strategy arm; difftest owns one per differential arm) and is handed
+// to the engine as a non-owning pointer on the EventLoop. Instrumentation
+// sites do `if (auto* rec = loop.recorder()) rec->record(...)`, so a null
+// recorder — the default — costs one pointer load per site and records
+// nothing. All recording is in virtual time: attaching a recorder can
+// never perturb the simulation.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "obs/histogram.h"
+#include "obs/phase.h"
+#include "util/types.h"
+
+namespace catalyst::obs {
+
+/// Accumulates the phase durations of one in-flight fetch so they can be
+/// committed to the recorder in a single call when the fetch completes.
+/// Plain int64 nanoseconds per phase; cheap to copy into completion
+/// callbacks.
+class PhaseTimeline {
+ public:
+  void add(Phase p, Duration d) { ns_[phase_index(p)] += d.count(); }
+
+  Duration at(Phase p) const { return Duration{ns_[phase_index(p)]}; }
+
+  /// Sum over every phase (the caller controls which phases it filled).
+  Duration total() const {
+    std::int64_t sum = 0;
+    for (std::int64_t n : ns_) sum += n;
+    return Duration{sum};
+  }
+
+  const std::array<std::int64_t, kPhaseCount>& raw() const { return ns_; }
+
+ private:
+  std::array<std::int64_t, kPhaseCount> ns_{};
+};
+
+/// One histogram per phase; the per-arm aggregate that rides FleetReport.
+struct PhaseBreakdown {
+  std::array<PhaseHistogram, kPhaseCount> phases;
+
+  void record(Phase p, Duration d) { phases[phase_index(p)].add(d); }
+
+  void merge(const PhaseBreakdown& other) {
+    for (std::size_t i = 0; i < kPhaseCount; ++i) {
+      phases[i].merge(other.phases[i]);
+    }
+  }
+
+  bool any() const {
+    for (const auto& h : phases) {
+      if (!h.empty()) return true;
+    }
+    return false;
+  }
+
+  const PhaseHistogram& of(Phase p) const { return phases[phase_index(p)]; }
+
+  /// Sum of recorded virtual time across client-side phases only (the
+  /// phases that partition fetch durations; see phase.h).
+  std::int64_t client_total_ns() const {
+    std::int64_t sum = 0;
+    for (Phase p : kAllPhases) {
+      if (!is_server_side(p)) {
+        sum += static_cast<std::int64_t>(of(p).total_ns());
+      }
+    }
+    return sum;
+  }
+};
+
+class Recorder {
+ public:
+  void record(Phase p, Duration d) { breakdown_.record(p, d); }
+
+  void record(const PhaseTimeline& t) {
+    for (std::size_t i = 0; i < kPhaseCount; ++i) {
+      if (t.raw()[i] > 0) {
+        breakdown_.phases[i].add(Duration{t.raw()[i]});
+      }
+    }
+  }
+
+  const PhaseBreakdown& breakdown() const { return breakdown_; }
+  void reset() { breakdown_ = PhaseBreakdown{}; }
+
+ private:
+  PhaseBreakdown breakdown_;
+};
+
+}  // namespace catalyst::obs

@@ -78,26 +78,36 @@ double Summary::percentile(double p) const {
   return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
 }
 
-Histogram::Histogram(double lo, double hi, std::size_t bins)
-    : lo_(lo), hi_(hi), counts_(bins, 0) {
+BinAxis::BinAxis(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), bins_(bins) {
   if (bins == 0 || hi <= lo) {
-    throw std::invalid_argument("Histogram: bad range or zero bins");
+    throw std::invalid_argument("BinAxis: bad range or zero bins");
   }
 }
 
-void Histogram::add(double x) {
+std::size_t BinAxis::index(double x) const {
   const double t = (x - lo_) / (hi_ - lo_);
-  auto bin = static_cast<std::ptrdiff_t>(
-      t * static_cast<double>(counts_.size()));
-  bin = std::clamp<std::ptrdiff_t>(
-      bin, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
-  ++counts_[static_cast<std::size_t>(bin)];
+  auto bin = static_cast<std::ptrdiff_t>(t * static_cast<double>(bins_));
+  bin = std::clamp<std::ptrdiff_t>(bin, 0,
+                                   static_cast<std::ptrdiff_t>(bins_) - 1);
+  return static_cast<std::size_t>(bin);
+}
+
+double BinAxis::lower_edge(std::size_t bin) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(bin) /
+                   static_cast<double>(bins_);
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : axis_(lo, hi, bins), counts_(bins, 0) {}
+
+void Histogram::add(double x) {
+  ++counts_[axis_.index(x)];
   ++total_;
 }
 
 void Histogram::merge(const Histogram& other) {
-  if (other.lo_ != lo_ || other.hi_ != hi_ ||
-      other.counts_.size() != counts_.size()) {
+  if (!(other.axis_ == axis_)) {
     throw std::invalid_argument("Histogram::merge: shape mismatch");
   }
   for (std::size_t i = 0; i < counts_.size(); ++i) {

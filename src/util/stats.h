@@ -50,6 +50,34 @@ class Summary {
   mutable bool sorted_valid_ = false;
 };
 
+/// Fixed-bin axis over [lo, hi): maps a sample to a clamped bin index.
+/// The single bucketing core shared by util Histogram (linear space) and
+/// obs::PhaseHistogram (log10 space) so the two can never drift apart.
+class BinAxis {
+ public:
+  /// Throws std::invalid_argument on zero bins or hi <= lo.
+  BinAxis(double lo, double hi, std::size_t bins);
+
+  std::size_t bins() const { return bins_; }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+
+  /// Bin holding `x`; out-of-range samples clamp to the first/last bin.
+  std::size_t index(double x) const;
+
+  /// Inclusive lower / exclusive upper edge of `bin` (unclamped linear
+  /// interpolation of the range).
+  double lower_edge(std::size_t bin) const;
+  double upper_edge(std::size_t bin) const { return lower_edge(bin + 1); }
+
+  bool operator==(const BinAxis& other) const = default;
+
+ private:
+  double lo_;
+  double hi_;
+  std::size_t bins_;
+};
+
 /// Fixed-bin histogram over [lo, hi); out-of-range samples clamp to the
 /// first/last bin. Used for console sparkline rendering in benches.
 class Histogram {
@@ -70,8 +98,7 @@ class Histogram {
   std::string sparkline() const;
 
  private:
-  double lo_;
-  double hi_;
+  BinAxis axis_;
   std::vector<std::size_t> counts_;
   std::size_t total_ = 0;
 };

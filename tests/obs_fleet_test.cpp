@@ -1,0 +1,114 @@
+// Fleet-level observability invariants:
+//
+//  * breakdown off: the serialized report is byte-for-byte what a
+//    breakdown-on run produces minus its "phases" sections — recording
+//    perturbs nothing else in the report;
+//  * breakdown on: report bytes (including the phase quantiles) are
+//    bit-identical for any --threads / shard split;
+//  * the edge + flash server-side phases actually populate on a two-tier
+//    fleet, and the self-profile op counters track engine events.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "fleet/runner.h"
+#include "obs/phase.h"
+#include "obs/selfprof.h"
+
+namespace catalyst::fleet {
+namespace {
+
+FleetParams small_fleet() {
+  FleetParams params;
+  params.shard_size = 4;
+  params.user_model.site_catalog_size = 8;
+  params.user_model.horizon = days(2);
+  params.user_model.mean_visit_gap = hours(12);
+  params.user_model.max_visits = 3;
+  return params;
+}
+
+FleetParams flash_fleet() {
+  FleetParams params = small_fleet();
+  params.edge.pops = 2;
+  // RAM small enough to evict constantly: demotions feed the flash tier,
+  // so flash reads (and their kFlashIo phase samples) actually happen.
+  params.edge.capacity = MiB(1);
+  params.edge.flash_capacity = MiB(8);
+  return params;
+}
+
+constexpr std::uint64_t kUsers = 24;
+
+FleetReport run_fleet(FleetParams params, int threads) {
+  return FleetRunner(std::move(params), kUsers, threads).run();
+}
+
+TEST(ObsFleetTest, BreakdownOffReportHasNoPhasesSection) {
+  const std::string off = run_fleet(small_fleet(), 2).serialize();
+  EXPECT_EQ(off.find("\"phases\""), std::string::npos);
+  EXPECT_EQ(off.find("\"baseline_phases\""), std::string::npos);
+}
+
+TEST(ObsFleetTest, BreakdownOnlyAddsPhasesSections) {
+  const std::string off = run_fleet(small_fleet(), 2).serialize();
+
+  FleetParams on_params = small_fleet();
+  on_params.breakdown = true;
+  FleetReport on = run_fleet(on_params, 2);
+  EXPECT_TRUE(on.phases.any());
+  EXPECT_TRUE(on.baseline_phases.any());
+  EXPECT_NE(on.serialize().find("\"phases\""), std::string::npos);
+
+  // Strip the breakdown from the on-report: everything else must
+  // serialize to the exact bytes of the off-run — phase recording is a
+  // pure observer.
+  on.phases = obs::PhaseBreakdown{};
+  on.baseline_phases = obs::PhaseBreakdown{};
+  EXPECT_EQ(on.serialize(), off);
+}
+
+TEST(ObsFleetTest, BreakdownBytesAreThreadInvariant) {
+  FleetParams params = small_fleet();
+  params.breakdown = true;
+  const std::string one = run_fleet(params, 1).serialize();
+  EXPECT_EQ(run_fleet(params, 8).serialize(), one);
+  // And stable across reruns, not just coincidentally equal.
+  EXPECT_EQ(run_fleet(params, 1).serialize(), one);
+}
+
+TEST(ObsFleetTest, BreakdownBytesAreShardInvariant) {
+  FleetParams one_each = small_fleet();
+  one_each.breakdown = true;
+  one_each.shard_size = 1;
+  FleetParams all_in_one = small_fleet();
+  all_in_one.breakdown = true;
+  all_in_one.shard_size = kUsers;
+  EXPECT_EQ(run_fleet(one_each, 8).serialize(),
+            run_fleet(all_in_one, 1).serialize());
+}
+
+TEST(ObsFleetTest, TwoTierFleetPopulatesServerSidePhases) {
+  FleetParams params = flash_fleet();
+  params.breakdown = true;
+  const FleetReport report = run_fleet(params, 2);
+  EXPECT_GT(report.phases.of(obs::Phase::kEdgeLookup).count(), 0u);
+  EXPECT_GT(report.phases.of(obs::Phase::kFlashIo).count(), 0u);
+  // Bit-identical across threads with the full two-tier phase set too.
+  EXPECT_EQ(run_fleet(params, 8).serialize(),
+            run_fleet(params, 1).serialize());
+}
+
+TEST(ObsFleetTest, SelfProfileCountersTrackEngineEvents) {
+  const FleetReport report = run_fleet(small_fleet(), 2);
+  // Op counters are always on: every dispatched loop event and every
+  // replayed user is tallied regardless of flags.
+  EXPECT_EQ(report.prof.ops[obs::sub_index(obs::Sub::kLoop)],
+            report.events_executed);
+  EXPECT_EQ(report.prof.ops[obs::sub_index(obs::Sub::kFleet)], kUsers);
+  // Wall-clock timers stay zero unless obs::set_timing(true) was called.
+  EXPECT_EQ(report.prof.total_ns(), 0u);
+}
+
+}  // namespace
+}  // namespace catalyst::fleet

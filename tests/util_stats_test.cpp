@@ -107,6 +107,27 @@ TEST(SummaryMergeTest, MergeInvalidatesSortedCache) {
   EXPECT_DOUBLE_EQ(s.median(), 2.0);
 }
 
+TEST(BinAxisTest, IndexAndEdges) {
+  const BinAxis axis(0.0, 10.0, 5);
+  EXPECT_EQ(axis.index(0.0), 0u);
+  EXPECT_EQ(axis.index(1.9), 0u);
+  EXPECT_EQ(axis.index(5.0), 2u);
+  EXPECT_EQ(axis.index(9.999), 4u);
+  EXPECT_EQ(axis.index(-3.0), 0u);   // clamps below
+  EXPECT_EQ(axis.index(100.0), 4u);  // clamps above
+  EXPECT_DOUBLE_EQ(axis.lower_edge(0), 0.0);
+  EXPECT_DOUBLE_EQ(axis.lower_edge(2), 4.0);
+  EXPECT_DOUBLE_EQ(axis.upper_edge(2), 6.0);
+}
+
+TEST(BinAxisTest, EqualityAndRejection) {
+  EXPECT_EQ(BinAxis(0.0, 1.0, 4), BinAxis(0.0, 1.0, 4));
+  EXPECT_FALSE(BinAxis(0.0, 1.0, 4) == BinAxis(0.0, 2.0, 4));
+  EXPECT_THROW(BinAxis(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(BinAxis(2.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(BinAxis(0.0, 1.0, 0), std::invalid_argument);
+}
+
 TEST(HistogramTest, BinningAndClamping) {
   Histogram h(0.0, 10.0, 5);
   h.add(0.5);    // bin 0

@@ -17,7 +17,10 @@
 //   2. on fault-free visits, the delivered URL set diverges between
 //      Baseline and a treatment arm, or
 //   3. a per-URL digest divergence between arms is not oracle-excused on
-//      both sides (each side fresh-at-its-own-serve-time or allowed-stale).
+//      both sides (each side fresh-at-its-own-serve-time or allowed-stale), or
+//   4. the richest arm, replayed with an obs::Recorder attached, diverges
+//      from its unobserved replay (phase recording must be a pure
+//      observer — see src/obs/).
 //
 // On failure the config is minimized (drop faults → drop flash → drop
 // edge → static snapshot → fewer users → fewer visits, keeping whatever
@@ -47,6 +50,7 @@
 #include "core/testbed.h"
 #include "edge/pop.h"
 #include "fleet/user_model.h"
+#include "obs/recorder.h"
 #include "util/rng.h"
 #include "util/strings.h"
 #include "workload/sitegen.h"
@@ -185,7 +189,8 @@ struct ArmResult {
 };
 
 ArmResult run_arm(const RoundConfig& cfg, core::StrategyKind kind,
-                  bool behind_edge, Mutation mutate) {
+                  bool behind_edge, Mutation mutate,
+                  obs::Recorder* recorder = nullptr) {
   // One shared site timeline per round: every arm must see identical
   // content versions (the whole point of a differential test).
   workload::SitegenParams sp;
@@ -240,6 +245,7 @@ ArmResult run_arm(const RoundConfig& cfg, core::StrategyKind kind,
     }
     opts.mobile_client = du.mobile;
     opts.edge_pop = pop.get();
+    opts.phase_recorder = recorder;
     netsim::NetworkConditions cond = fleet::conditions_for(du.tier);
     if (cfg.faults) {
       cond.faults.loss_rate = cfg.loss_rate;
@@ -389,6 +395,34 @@ RoundOutcome run_round(const RoundConfig& cfg, Mutation mutate) {
       out.failed = true;
       out.detail = diff;
       return out;
+    }
+  }
+
+  // Observer-effect check: replay the richest arm with a phase recorder
+  // attached. Recording is virtual-time observation only, so every visit
+  // must land bit-identical — any drift means the obs layer perturbed
+  // the simulation.
+  {
+    obs::Recorder rec;
+    const std::size_t last = results.size() - 1;
+    const ArmResult observed =
+        run_arm(cfg, arms[last].kind, arms[last].edge, mutate, &rec);
+    for (std::size_t u = 0; u < observed.loads.size(); ++u) {
+      for (std::size_t v = 0; v < observed.loads[u].size(); ++v) {
+        const client::PageLoadResult& a = results[last].loads[u][v];
+        const client::PageLoadResult& b = observed.loads[u][v];
+        if (a.plt() != b.plt() || a.bytes_downloaded != b.bytes_downloaded ||
+            a.rtts != b.rtts) {
+          out.failed = true;
+          out.detail = str_format(
+              "observer effect: %s arm user %zu visit %zu diverged with a "
+              "phase recorder attached (plt %lld vs %lld ns)",
+              arms[last].name, u, v,
+              static_cast<long long>(a.plt().count()),
+              static_cast<long long>(b.plt().count()));
+          return out;
+        }
+      }
     }
   }
   return out;

@@ -6,7 +6,7 @@
 //            [--loss P] [--outage F] [--fault-seed S]
 //            [--edge-pops N] [--edge-capacity-mb M] [--edge-origin-rtt-ms R]
 //            [--edge-flash-mb M] [--edge-flash-lat-us U] [--edge-flash-qd Q]
-//            [--json] [--live]
+//            [--breakdown] [--self-profile] [--json] [--live]
 //
 // Runs N independent user sessions (Zipf site popularity, Poisson revisit
 // schedules, mixed access tiers) under the chosen strategy, replays the
@@ -23,6 +23,7 @@
 #include <string>
 
 #include "fleet/runner.h"
+#include "obs/selfprof.h"
 #include "util/strings.h"
 
 using namespace catalyst;
@@ -90,7 +91,8 @@ void usage() {
       "                [--edge-flash-lat-us U] [--edge-flash-qd Q]\n"
       "                [--negative-ttl-s T] [--dead-links F] [--adversary]\n"
       "                [--adversary-rate R] [--adversary-seed S]\n"
-      "                [--vulnerable-keying] [--json]\n"
+      "                [--vulnerable-keying] [--breakdown]\n"
+      "                [--self-profile] [--json]\n"
       "\n"
       "  --loss P       per-request fault probability: P mid-stream drops\n"
       "                 plus P/4 silent stalls (default 0: no fault layer)\n"
@@ -126,7 +128,15 @@ void usage() {
       "                 oracle self-tests (difftest --mutate unkeyed-header)\n"
       "  --trace-users N  record replayable JSONL traces for users 0..N-1\n"
       "  --trace-out F    write recorded traces to file F (requires\n"
-      "                   --trace-users; '-' for stdout)\n");
+      "                   --trace-users; '-' for stdout)\n"
+      "  --breakdown    record per-request latency phase breakdowns (dns/\n"
+      "                 connect/tls/queue/ttfb/transfer/...) and add a\n"
+      "                 \"phases\" section per strategy arm to the report;\n"
+      "                 virtual-time only, bit-identical for any --threads\n"
+      "                 (default off: reports stay byte-identical)\n"
+      "  --self-profile enable wall-clock subsystem timers and print an\n"
+      "                 ops/sec + cpu-share table to stderr after the run\n"
+      "                 (never touches the byte-stable report on stdout)\n");
 }
 
 }  // namespace
@@ -291,6 +301,20 @@ int main(int argc, char** argv) {
   params.trace_users =
       static_cast<std::uint64_t>(args.num("trace-users", 0));
 
+  // Observability (default-off; both are pure observation). These flags
+  // take no value — a trailing operand is a typo'd invocation, not config.
+  for (const char* flag : {"breakdown", "self-profile"}) {
+    if (args.has(flag) && !args.get(flag, "").empty()) {
+      std::fprintf(stderr,
+                   "fleetsim: --%s takes no value (got \"%s\")\n", flag,
+                   args.get(flag, "").c_str());
+      return 2;
+    }
+  }
+  params.breakdown = args.has("breakdown");
+  const bool self_profile = args.has("self-profile");
+  obs::set_timing(self_profile);
+
   fleet::FleetRunner runner(params, users, threads);
   std::fprintf(stderr, "fleetsim: %llu users, %zu shards, %d thread(s), %s vs %s\n",
                static_cast<unsigned long long>(users), runner.shard_count(),
@@ -335,5 +359,8 @@ int main(int argc, char** argv) {
                secs, secs > 0 ? static_cast<double>(users) / secs : 0.0,
                secs > 0 ? static_cast<double>(report.events_executed) / secs
                         : 0.0);
+  if (self_profile) {
+    std::fprintf(stderr, "%s", report.prof.render_table(secs).c_str());
+  }
   return 0;
 }

@@ -8,11 +8,13 @@
 #
 #   plain   — full build + complete ctest suite (includes oracle label)
 #   diff    — differential harness sweep (clean + mutation self-test) and
-#             the oracle-off / flash-off / cross-thread byte-identity
-#             checks (flash-on runs compared across thread counts)
+#             the oracle-off / flash-off / breakdown-off / cross-thread
+#             byte-identity checks (feature-on runs compared across
+#             thread counts)
 #   perf    — engine_hotpath --smoke gated against bench/baselines/
 #             hotpath.json (fails on >20% macro throughput regression)
-#             plus the edge_offload --smoke flash sweep
+#             plus the edge_offload --smoke flash sweep and the
+#             --breakdown overhead gate (>=97% of off-throughput)
 #   asan    — ASan+UBSan build, oracle/robustness/perf labels (fault and
 #             pooling paths are where lifetime bugs hide)
 #   tsan    — TSan build, oracle/fleet/edge labels (trace recording and
@@ -118,6 +120,24 @@ stage_diff() {
     echo "FAIL: vulnerable keying escaped the oracle" >&2
     exit 1
   fi
+
+  echo "== breakdown byte-identity =="
+  # Without --breakdown the report must not grow a "phases" section, and
+  # breakdown-on runs (phase histograms included) must stay bit-identical
+  # across thread counts — all phase timing lives on the virtual clock.
+  if "./$BUILD_DIR/tools/fleetsim" --users 60 --edge-pops 2 --json \
+      2>/dev/null | grep -q '"phases"'; then
+    echo "FAIL: phases section present in a breakdown-off report" >&2
+    exit 1
+  fi
+  "./$BUILD_DIR/tools/fleetsim" --users 60 --edge-pops 2 \
+      --edge-capacity-mb 1 --edge-flash-mb 16 --loss 0.01 --breakdown \
+      --threads 1 --json 2>/dev/null > /tmp/breakdown_t1.json
+  "./$BUILD_DIR/tools/fleetsim" --users 60 --edge-pops 2 \
+      --edge-capacity-mb 1 --edge-flash-mb 16 --loss 0.01 --breakdown \
+      --threads 8 --json 2>/dev/null > /tmp/breakdown_t8.json
+  cmp /tmp/breakdown_t1.json /tmp/breakdown_t8.json
+  grep -q '"phases"' /tmp/breakdown_t1.json
 }
 
 stage_perf() {
@@ -132,6 +152,11 @@ stage_perf() {
   # Exercises the flash-enabled offload sweep end to end (RAM-only and
   # two-tier points plus the read-merge probe); no gating baseline yet.
   "./$BUILD_DIR/bench/edge_offload" --smoke > BENCH_edge_offload.json
+
+  echo "== perf smoke: observability overhead gate =="
+  # The phase breakdown must stay near-free: the same macro fleet with
+  # --breakdown on must keep >=97% of breakdown-off throughput.
+  "./$BUILD_DIR/bench/engine_hotpath" --smoke --overhead-gate
 }
 
 stage_asan() {
@@ -151,7 +176,7 @@ stage_tsan() {
   cmake --build "$TSAN_BUILD_DIR" -j"$JOBS" --target \
       check_replay_test fleet_determinism_test fleet_report_test \
       fleet_user_model_test edge_tier_test edge_fleet_test \
-      edge_flash_test edge_flash_fleet_test
+      edge_flash_test edge_flash_fleet_test obs_fleet_test
   ctest --test-dir "$TSAN_BUILD_DIR" --output-on-failure \
       -L 'oracle|fleet|edge'
 }
