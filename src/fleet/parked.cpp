@@ -1,0 +1,613 @@
+#include "fleet/parked.h"
+
+#include <limits>
+#include <map>
+#include <optional>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "server/catalyst_module.h"
+#include "server/server.h"
+#include "server/site.h"
+#include "util/hash.h"
+
+namespace catalyst::fleet {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Wire primitives: LEB128 varints for counts/ids/times (small in practice),
+// fixed-width little-endian for digests/checksums (uniformly random, varint
+// would expand them), and a per-blob string table — the first occurrence of
+// a string defines the next id, later occurrences are one-varint references.
+// The table is what strips interned ids out of the encoding: blobs carry
+// plain bytes and remap through whatever intern table the reviving shard
+// happens to have.
+// ---------------------------------------------------------------------------
+
+class BlobWriter {
+ public:
+  void varint(std::uint64_t v) {
+    while (v >= 0x80) {
+      out_.push_back(static_cast<char>((v & 0x7f) | 0x80));
+      v >>= 7;
+    }
+    out_.push_back(static_cast<char>(v));
+  }
+
+  void fixed16(std::uint16_t v) {
+    out_.push_back(static_cast<char>(v & 0xff));
+    out_.push_back(static_cast<char>(v >> 8));
+  }
+
+  void fixed64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      out_.push_back(static_cast<char>(v & 0xff));
+      v >>= 8;
+    }
+  }
+
+  void raw(std::string_view bytes) { out_.append(bytes); }
+
+  /// String-table write: tag 0 introduces a literal (and assigns the next
+  /// id), tag k > 0 references entry k-1.
+  void str(const std::string& s) {
+    const auto it = table_.find(s);
+    if (it != table_.end()) {
+      varint(it->second + 1);
+      return;
+    }
+    varint(0);
+    varint(s.size());
+    out_.append(s);
+    table_.emplace(s, static_cast<std::uint32_t>(table_.size()));
+  }
+
+  std::string take() && { return std::move(out_); }
+  const std::string& bytes() const { return out_; }
+
+ private:
+  std::string out_;
+  std::map<std::string, std::uint32_t> table_;
+};
+
+/// Bounds-checked reader. Any overrun, bad tag or bad reference latches
+/// ok() to false; callers check once after decoding a whole section.
+class BlobReader {
+ public:
+  explicit BlobReader(std::string_view bytes) : bytes_(bytes) {}
+
+  bool ok() const { return ok_; }
+  std::size_t remaining() const { return bytes_.size() - pos_; }
+
+  std::uint64_t varint() {
+    std::uint64_t v = 0;
+    int shift = 0;
+    while (true) {
+      if (pos_ >= bytes_.size() || shift > 63) return fail();
+      const std::uint8_t b = static_cast<std::uint8_t>(bytes_[pos_++]);
+      v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+      if ((b & 0x80) == 0) return v;
+      shift += 7;
+    }
+  }
+
+  std::uint16_t fixed16() {
+    if (remaining() < 2) return static_cast<std::uint16_t>(fail());
+    const auto lo = static_cast<std::uint8_t>(bytes_[pos_]);
+    const auto hi = static_cast<std::uint8_t>(bytes_[pos_ + 1]);
+    pos_ += 2;
+    return static_cast<std::uint16_t>(lo | (hi << 8));
+  }
+
+  std::uint64_t fixed64() {
+    if (remaining() < 8) return fail();
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i) {
+      v = (v << 8) | static_cast<std::uint8_t>(bytes_[pos_ + i]);
+    }
+    pos_ += 8;
+    return v;
+  }
+
+  std::string_view raw(std::size_t n) {
+    if (remaining() < n) {
+      fail();
+      return {};
+    }
+    const std::string_view s = bytes_.substr(pos_, n);
+    pos_ += n;
+    return s;
+  }
+
+  std::string str() {
+    const std::uint64_t tag = varint();
+    if (!ok_) return {};
+    if (tag == 0) {
+      const std::uint64_t len = varint();
+      if (!ok_ || len > remaining()) {
+        fail();
+        return {};
+      }
+      std::string s(raw(static_cast<std::size_t>(len)));
+      table_.push_back(s);
+      return s;
+    }
+    if (tag - 1 >= table_.size()) {
+      fail();
+      return {};
+    }
+    return table_[static_cast<std::size_t>(tag - 1)];
+  }
+
+  /// A decoded count must be plausible against the bytes left (every
+  /// element costs at least one byte) — rejects corrupt counts before any
+  /// allocation sized by them.
+  std::uint64_t count() {
+    const std::uint64_t n = varint();
+    if (n > remaining()) return fail();
+    return n;
+  }
+
+ private:
+  std::uint64_t fail() {
+    ok_ = false;
+    return 0;
+  }
+
+  std::string_view bytes_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+  std::vector<std::string> table_;
+};
+
+// ---------------------------------------------------------------------------
+// Blob layout (version 1):
+//   "CPKU" | u16 version | u16 flags (bit0: has baseline arm) |
+//   varint user_id | client(treat) [| client(base)] | u64 fnv1a64 checksum
+// Each client section: loop-now, straggler carry, fault progress, DNS set,
+// HTTP cache (stats + entries LRU-first), service workers (lifecycle, map,
+// SW cache, negative entries, stats). Entry bodies are a site path
+// reference when the bytes still equal the site's deterministic content at
+// the entry's response time (regenerated at revival), raw bytes otherwise.
+// ---------------------------------------------------------------------------
+
+constexpr char kMagic[4] = {'C', 'P', 'K', 'U'};
+constexpr std::uint16_t kFlagHasBase = 1u << 0;
+constexpr std::uint8_t kBodyRaw = 0;
+constexpr std::uint8_t kBodySiteRef = 1;
+
+std::uint64_t ns_of(TimePoint t) {
+  return static_cast<std::uint64_t>(t.since_epoch().count());
+}
+
+/// The site path for a cache key: SW keys are already paths; HTTP cache
+/// keys are full URLs, whose path starts at the first '/' after "://".
+std::string path_of_key(const std::string& key) {
+  if (!key.empty() && key.front() == '/') return key;
+  const std::size_t scheme = key.find("://");
+  if (scheme == std::string::npos) return {};
+  const std::size_t slash = key.find('/', scheme + 3);
+  if (slash == std::string::npos) return {};
+  return key.substr(slash);
+}
+
+void encode_entry(BlobWriter& w, const std::string& key,
+                  const cache::CacheEntry& entry, const server::Site* site) {
+  w.varint(static_cast<std::uint64_t>(http::code(entry.response.status)));
+  const auto& fields = entry.response.headers.fields();
+  w.varint(fields.size());
+  for (const auto& f : fields) {
+    w.str(f.name);
+    w.str(f.value);
+  }
+  // Body: prefer a site reference — verified byte-for-byte against the
+  // deterministic catalog before committing to it, so transformed bodies
+  // (e.g. Catalyst-injected HTML) fall back to raw bytes, never to a
+  // wrong regeneration.
+  std::string path;
+  const server::Resource* r = nullptr;
+  if (site != nullptr && !entry.response.body.empty()) {
+    path = path_of_key(key);
+    if (!path.empty()) r = site->find(path);
+    if (r != nullptr && r->content_at(entry.response_time) !=
+                            entry.response.body) {
+      r = nullptr;
+    }
+  }
+  if (r != nullptr) {
+    w.varint(kBodySiteRef);
+    w.str(path);
+  } else {
+    w.varint(kBodyRaw);
+    w.varint(entry.response.body.size());
+    w.raw(entry.response.body);
+  }
+  w.varint(entry.response.declared_body_size);
+  w.varint(ns_of(entry.request_time));
+  w.varint(ns_of(entry.response_time));
+  // Stored digest is state, not derivable: corrupt() deliberately desyncs
+  // it from the body, and that desync must survive a park/revive cycle.
+  w.fixed64(entry.body_digest);
+}
+
+void encode_client(BlobWriter& w, core::Testbed& tb,
+                   std::uint64_t stragglers) {
+  w.varint(ns_of(tb.loop->now()));
+  w.varint(stragglers);
+  w.varint(tb.faults ? tb.faults->requests_decided() : 0);
+  w.varint(tb.faults ? tb.faults->blackholed() : 0);
+
+  const auto& dns = tb.browser->fetcher().dns_resolved();
+  w.varint(dns.size());
+  for (const auto& host : dns) w.str(host);
+
+  cache::HttpCache& hc = tb.browser->http_cache();
+  const cache::HttpCacheStats hs = hc.stats();
+  w.varint(hs.hits);
+  w.varint(hs.misses);
+  w.varint(hs.stores);
+  w.varint(hs.evictions);
+  w.varint(hs.rejected_no_store);
+  w.varint(hs.bytes_served);
+  w.varint(hs.lookups);
+  w.varint(hs.revalidations);
+  w.varint(hs.negative_stores);
+  w.varint(hs.negative_hits);
+  const std::vector<std::string> urls = hc.stored_urls();  // MRU first
+  w.varint(urls.size());
+  for (auto it = urls.rbegin(); it != urls.rend(); ++it) {  // LRU first
+    w.str(*it);
+    encode_entry(w, *it, *hc.peek(*it), tb.site.get());
+  }
+
+  const std::vector<std::string> hosts = tb.browser->service_worker_hosts();
+  w.varint(hosts.size());
+  for (const std::string& host : hosts) {
+    const client::CatalystServiceWorker& sw = tb.browser->service_worker(host);
+    w.str(host);
+    const http::EtagConfig* map = sw.current_map();
+    std::uint8_t flags = 0;
+    if (sw.registered()) flags |= 1;
+    if (sw.degraded()) flags |= 2;
+    if (map != nullptr) flags |= 4;
+    w.varint(flags);
+    if (map != nullptr) {
+      w.varint(map->entries().size());
+      for (const auto& e : map->entries()) {
+        w.str(e.path);
+        w.str(e.etag.value);
+        w.varint(e.etag.weak ? 1 : 0);
+      }
+    }
+    const std::vector<std::string> sw_urls = sw.cache().stored_urls();
+    w.varint(sw_urls.size());
+    for (auto it = sw_urls.rbegin(); it != sw_urls.rend(); ++it) {
+      w.str(*it);
+      encode_entry(w, *it, *sw.cache().peek(*it), tb.site.get());
+    }
+    const cache::SwCacheStats ss = sw.cache().stats();
+    w.varint(ss.hits);
+    w.varint(ss.misses);
+    w.varint(ss.stores);
+    w.varint(ss.evictions);
+    w.varint(ss.rejected_no_store);
+    w.varint(ss.bytes_served);
+    w.varint(ss.etag_mismatches);
+    w.varint(ss.integrity_failures);
+    w.varint(sw.negative_entries().size());
+    for (const auto& [path, entry] : sw.negative_entries()) {
+      w.str(path);
+      encode_entry(w, path, entry, tb.site.get());
+    }
+    const client::ServiceWorkerStats& ws = sw.stats();
+    w.varint(ws.intercepted);
+    w.varint(ws.served_from_cache);
+    w.varint(ws.forwarded);
+    w.varint(ws.maps_installed);
+    w.varint(ws.maps_missing);
+    w.varint(ws.maps_rejected);
+    w.varint(ws.fallback_revalidations);
+    w.varint(ws.negative_stores);
+    w.varint(ws.negative_hits);
+  }
+
+  // Origin-side scan memo: repeat HTML serves of an already-scanned
+  // (resource, version) skip the modeled DOM-scan compute, so the revived
+  // user's origin must remember what it scanned or revisit TTFB drifts.
+  // The memo is an unordered_map; sort keys so blob bytes stay
+  // deterministic.
+  const server::CatalystModule* module =
+      tb.origin ? tb.origin->catalyst_module() : nullptr;
+  if (module == nullptr || module->scan_memo().empty()) {
+    w.varint(0);
+  } else {
+    std::map<std::string_view, const std::vector<std::string>*> sorted;
+    for (const auto& [key, links] : module->scan_memo()) {
+      sorted.emplace(key, &links);
+    }
+    w.varint(sorted.size());
+    for (const auto& [key, links] : sorted) {
+      w.str(std::string(key));
+      w.varint(links->size());
+      for (const std::string& link : *links) w.str(link);
+    }
+  }
+}
+
+// --- Decoded intermediate form: the whole blob lands here before a single
+// byte is applied to a testbed, which is what makes corrupt blobs a no-op.
+
+struct DecodedEntry {
+  std::string key;
+  cache::CacheEntry entry;
+};
+
+struct DecodedWorker {
+  std::string host;
+  bool registered = false;
+  bool degraded = false;
+  bool has_map = false;
+  std::vector<std::pair<std::string, http::Etag>> map_entries;
+  std::vector<DecodedEntry> cache_entries;  // LRU first
+  cache::SwCacheStats cache_stats;
+  std::vector<DecodedEntry> negative_entries;
+  client::ServiceWorkerStats stats;
+};
+
+struct DecodedClient {
+  std::uint64_t now_ns = 0;
+  std::uint64_t stragglers = 0;
+  std::uint64_t fault_ordinal = 0;
+  std::uint64_t fault_blackholed = 0;
+  std::vector<std::string> dns;
+  cache::HttpCacheStats http_stats;
+  std::vector<DecodedEntry> http_entries;  // LRU first
+  std::vector<DecodedWorker> workers;
+  // Origin scan memo, sorted by key: "<path>#<version>" → extracted links.
+  std::vector<std::pair<std::string, std::vector<std::string>>> scan_memo;
+};
+
+bool decode_entry(BlobReader& r, const std::string& key,
+                  const server::Site* site, cache::CacheEntry& out) {
+  const std::uint64_t status = r.varint();
+  if (!r.ok() || status > 599) return false;
+  out.response.status = static_cast<http::Status>(static_cast<int>(status));
+  const std::uint64_t n_headers = r.count();
+  for (std::uint64_t i = 0; r.ok() && i < n_headers; ++i) {
+    const std::string name = r.str();
+    const std::string value = r.str();
+    if (r.ok()) out.response.headers.add(name, value);
+  }
+  const std::uint64_t kind = r.varint();
+  if (!r.ok()) return false;
+  if (kind == kBodySiteRef) {
+    const std::string path = r.str();
+    if (!r.ok()) return false;
+    if (site == nullptr) return false;
+    const server::Resource* res = site->find(path);
+    if (res == nullptr) return false;
+    // response_time decodes below; stash the path and fill the body after.
+    out.response.body = path;  // placeholder, replaced once times are read
+  } else if (kind == kBodyRaw) {
+    const std::uint64_t len = r.varint();
+    if (!r.ok() || len > r.remaining()) return false;
+    out.response.body = std::string(r.raw(static_cast<std::size_t>(len)));
+  } else {
+    return false;
+  }
+  out.response.declared_body_size = r.varint();
+  out.request_time = TimePoint{Duration{static_cast<std::int64_t>(r.varint())}};
+  out.response_time =
+      TimePoint{Duration{static_cast<std::int64_t>(r.varint())}};
+  out.body_digest = r.fixed64();
+  if (!r.ok()) return false;
+  if (kind == kBodySiteRef) {
+    // Now that response_time is known, regenerate the referenced content.
+    const server::Resource* res = site->find(out.response.body);
+    if (res == nullptr) return false;
+    out.response.body = res->content_at(out.response_time);
+  }
+  (void)key;
+  return true;
+}
+
+bool decode_client(BlobReader& r, const server::Site* site,
+                   DecodedClient& out) {
+  out.now_ns = r.varint();
+  out.stragglers = r.varint();
+  out.fault_ordinal = r.varint();
+  out.fault_blackholed = r.varint();
+  if (!r.ok() ||
+      out.now_ns >
+          static_cast<std::uint64_t>(std::numeric_limits<std::int64_t>::max())) {
+    return false;
+  }
+  const std::uint64_t n_dns = r.count();
+  for (std::uint64_t i = 0; r.ok() && i < n_dns; ++i) {
+    out.dns.push_back(r.str());
+  }
+  cache::HttpCacheStats& hs = out.http_stats;
+  hs.hits = r.varint();
+  hs.misses = r.varint();
+  hs.stores = r.varint();
+  hs.evictions = r.varint();
+  hs.rejected_no_store = r.varint();
+  hs.bytes_served = r.varint();
+  hs.lookups = r.varint();
+  hs.revalidations = r.varint();
+  hs.negative_stores = r.varint();
+  hs.negative_hits = r.varint();
+  const std::uint64_t n_http = r.count();
+  for (std::uint64_t i = 0; r.ok() && i < n_http; ++i) {
+    DecodedEntry e;
+    e.key = r.str();
+    if (!r.ok() || !decode_entry(r, e.key, site, e.entry)) return false;
+    out.http_entries.push_back(std::move(e));
+  }
+  const std::uint64_t n_workers = r.count();
+  for (std::uint64_t i = 0; r.ok() && i < n_workers; ++i) {
+    DecodedWorker w;
+    w.host = r.str();
+    const std::uint64_t flags = r.varint();
+    if (!r.ok() || flags > 7) return false;
+    w.registered = (flags & 1) != 0;
+    w.degraded = (flags & 2) != 0;
+    w.has_map = (flags & 4) != 0;
+    if (w.has_map) {
+      const std::uint64_t n_map = r.count();
+      for (std::uint64_t k = 0; r.ok() && k < n_map; ++k) {
+        http::Etag etag;
+        std::string path = r.str();
+        etag.value = r.str();
+        const std::uint64_t weak = r.varint();
+        if (!r.ok() || weak > 1) return false;
+        etag.weak = weak == 1;
+        w.map_entries.emplace_back(std::move(path), std::move(etag));
+      }
+    }
+    const std::uint64_t n_cache = r.count();
+    for (std::uint64_t k = 0; r.ok() && k < n_cache; ++k) {
+      DecodedEntry e;
+      e.key = r.str();
+      if (!r.ok() || !decode_entry(r, e.key, site, e.entry)) return false;
+      w.cache_entries.push_back(std::move(e));
+    }
+    cache::SwCacheStats& ss = w.cache_stats;
+    ss.hits = r.varint();
+    ss.misses = r.varint();
+    ss.stores = r.varint();
+    ss.evictions = r.varint();
+    ss.rejected_no_store = r.varint();
+    ss.bytes_served = r.varint();
+    ss.etag_mismatches = r.varint();
+    ss.integrity_failures = r.varint();
+    const std::uint64_t n_negative = r.count();
+    for (std::uint64_t k = 0; r.ok() && k < n_negative; ++k) {
+      DecodedEntry e;
+      e.key = r.str();
+      if (!r.ok() || !decode_entry(r, e.key, site, e.entry)) return false;
+      w.negative_entries.push_back(std::move(e));
+    }
+    client::ServiceWorkerStats& ws = w.stats;
+    ws.intercepted = r.varint();
+    ws.served_from_cache = r.varint();
+    ws.forwarded = r.varint();
+    ws.maps_installed = r.varint();
+    ws.maps_missing = r.varint();
+    ws.maps_rejected = r.varint();
+    ws.fallback_revalidations = r.varint();
+    ws.negative_stores = r.varint();
+    ws.negative_hits = r.varint();
+    out.workers.push_back(std::move(w));
+  }
+  const std::uint64_t n_memo = r.count();
+  for (std::uint64_t i = 0; r.ok() && i < n_memo; ++i) {
+    std::string key = r.str();
+    std::vector<std::string> links;
+    const std::uint64_t n_links = r.count();
+    for (std::uint64_t k = 0; r.ok() && k < n_links; ++k) {
+      links.push_back(r.str());
+    }
+    if (!r.ok()) return false;
+    out.scan_memo.emplace_back(std::move(key), std::move(links));
+  }
+  return r.ok();
+}
+
+void apply_client(DecodedClient&& c, core::Testbed& tb) {
+  tb.loop->advance_to(TimePoint{Duration{static_cast<std::int64_t>(c.now_ns)}});
+  if (tb.faults) {
+    tb.faults->restore_progress(c.fault_ordinal, c.fault_blackholed);
+  }
+  for (const std::string& host : c.dns) {
+    tb.browser->fetcher().restore_dns_resolved(host);
+  }
+  cache::HttpCache& hc = tb.browser->http_cache();
+  for (DecodedEntry& e : c.http_entries) {  // LRU first → recency preserved
+    hc.restore_entry(e.key, std::move(e.entry));
+  }
+  hc.restore_stats(c.http_stats);  // after entries: overrides restore churn
+  for (DecodedWorker& w : c.workers) {
+    client::CatalystServiceWorker& sw = tb.browser->service_worker(w.host);
+    std::optional<http::EtagConfig> map;
+    if (w.has_map) {
+      map.emplace();
+      for (auto& [path, etag] : w.map_entries) {
+        map->add(std::move(path), std::move(etag));
+      }
+    }
+    sw.restore_lifecycle(w.registered, w.degraded, std::move(map));
+    for (DecodedEntry& e : w.cache_entries) {
+      sw.cache().restore_entry(e.key, std::move(e.entry));
+    }
+    sw.cache().restore_stats(w.cache_stats);
+    for (DecodedEntry& e : w.negative_entries) {
+      sw.restore_negative_entry(std::move(e.key), std::move(e.entry));
+    }
+    sw.restore_stats(w.stats);
+  }
+  if (!c.scan_memo.empty() && tb.origin != nullptr) {
+    if (server::CatalystModule* module = tb.origin->catalyst_module()) {
+      for (auto& [key, links] : c.scan_memo) {
+        module->restore_scan_memo(std::move(key), std::move(links));
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::string park_user(std::uint64_t user_id, core::Testbed& treat,
+                      std::uint64_t treat_stragglers, core::Testbed* base,
+                      std::uint64_t base_stragglers) {
+  BlobWriter w;
+  w.raw(std::string_view(kMagic, 4));
+  w.fixed16(kParkedFormatVersion);
+  w.fixed16(base != nullptr ? kFlagHasBase : 0);
+  w.varint(user_id);
+  encode_client(w, treat, treat_stragglers);
+  if (base != nullptr) encode_client(w, *base, base_stragglers);
+  const std::uint64_t checksum = fnv1a64(w.bytes());
+  w.fixed64(checksum);
+  return std::move(w).take();
+}
+
+ReviveResult revive_user(const std::string& blob, std::uint64_t user_id,
+                         core::Testbed& treat, core::Testbed* base) {
+  ReviveResult result;
+  // Checksum before anything else: every truncation or bit flip anywhere
+  // in the blob is caught here, so the structural decode below only ever
+  // sees self-consistent bytes (it still bounds-checks everything).
+  if (blob.size() < 4 + 2 + 2 + 8) return result;
+  const std::string_view body(blob.data(), blob.size() - 8);
+  BlobReader tail(std::string_view(blob).substr(blob.size() - 8));
+  if (tail.fixed64() != fnv1a64(body)) return result;
+
+  BlobReader r(body);
+  if (r.raw(4) != std::string_view(kMagic, 4)) return result;
+  if (r.fixed16() != kParkedFormatVersion) return result;
+  const std::uint16_t flags = r.fixed16();
+  if (!r.ok() || (flags & ~kFlagHasBase) != 0) return result;
+  const bool has_base = (flags & kFlagHasBase) != 0;
+  if (has_base != (base != nullptr)) return result;
+  if (r.varint() != user_id || !r.ok()) return result;
+
+  DecodedClient treat_state;
+  if (!decode_client(r, treat.site.get(), treat_state)) return result;
+  DecodedClient base_state;
+  if (has_base && !decode_client(r, base->site.get(), base_state)) {
+    return result;
+  }
+  if (r.remaining() != 0) return result;
+
+  result.treat_stragglers = treat_state.stragglers;
+  result.base_stragglers = base_state.stragglers;
+  apply_client(std::move(treat_state), treat);
+  if (has_base) apply_client(std::move(base_state), *base);
+  result.status = ReviveStatus::Ok;
+  return result;
+}
+
+}  // namespace catalyst::fleet

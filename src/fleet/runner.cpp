@@ -1,6 +1,7 @@
 #include "fleet/runner.h"
 
 #include <algorithm>
+#include <map>
 #include <thread>
 
 namespace catalyst::fleet {
@@ -39,8 +40,17 @@ FleetRunner::FleetRunner(FleetParams params, std::uint64_t num_users,
     shard_count_ = static_cast<std::size_t>(params_.edge.pops);
     return;
   }
-  const std::uint64_t shard_size = std::max<std::uint64_t>(
-      params_.shard_size, 1);
+  std::uint64_t shard_size = std::max<std::uint64_t>(params_.shard_size, 1);
+  if (params_.max_live_users > 0) {
+    // Streaming mode: oversubscribe each shard's arena 16x so parking
+    // actually happens (a shard no larger than its arena never parks).
+    // A pure function of max_live_users — never of the thread count — so
+    // the shard geometry, and with it the report, is thread-independent;
+    // report bytes are identical for any shard_size anyway (canonical
+    // merge), so widening shards only changes scheduling granularity.
+    shard_size = std::max(shard_size, 16 * params_.max_live_users);
+    params_.shard_size = shard_size;
+  }
   shard_count_ = static_cast<std::size_t>(
       (num_users_ + shard_size - 1) / shard_size);
 }
@@ -73,16 +83,30 @@ FleetReport FleetRunner::run() {
   }
   queue.close();
 
-  // One report slot per shard: workers write disjoint slots, the merge
-  // below reads them only after every worker has joined.
-  std::vector<FleetReport> slots(shard_count_);
+  // Incremental canonical merge: shard reports fold into `merged` in
+  // ascending shard index (== ascending user id) the moment the run
+  // becomes the next expected index, exactly the order a single thread
+  // would have accumulated samples in — but without holding one report
+  // slot per shard for the whole run. Out-of-order completions wait in
+  // `pending` (bounded by worker-count stragglers, not by shard count),
+  // so resident report memory stays O(threads) instead of O(shards).
+  std::mutex merge_mutex;
+  FleetReport merged;
+  std::map<std::size_t, FleetReport> pending;
+  std::size_t next_merge = 0;
 
   auto worker = [&] {
     while (auto task = queue.pop()) {
       FleetReport report = Shard(params_, *task).run();
       users_completed_.fetch_add(report.users, std::memory_order_relaxed);
       live_counters_.record(report.counters);
-      slots[task->shard_index] = std::move(report);
+      std::lock_guard<std::mutex> lock(merge_mutex);
+      pending.emplace(task->shard_index, std::move(report));
+      while (!pending.empty() && pending.begin()->first == next_merge) {
+        merged.merge(pending.begin()->second);
+        pending.erase(pending.begin());
+        ++next_merge;
+      }
     }
   };
 
@@ -94,10 +118,6 @@ FleetReport FleetRunner::run() {
   for (int i = 0; i < pool; ++i) workers.emplace_back(worker);
   for (auto& w : workers) w.join();
 
-  // Canonical merge: ascending shard index == ascending user id, exactly
-  // the order a single thread would have accumulated samples in.
-  FleetReport merged;
-  for (auto& slot : slots) merged.merge(slot);
   return merged;
 }
 

@@ -83,6 +83,7 @@ void usage() {
       stderr,
       "usage: fleetsim --users N [--threads T] [--seed S] [--strategy K]\n"
       "                [--baseline K] [--sites N] [--shard-size N]\n"
+      "                [--max-live-users N]\n"
       "                [--horizon-days D] [--mean-gap-hours H]\n"
       "                [--max-visits V] [--loss P] [--outage F]\n"
       "                [--fault-seed S] [--edge-pops N]\n"
@@ -94,6 +95,15 @@ void usage() {
       "                [--vulnerable-keying] [--breakdown]\n"
       "                [--self-profile] [--json]\n"
       "\n"
+      "  --max-live-users N  streaming shard engine: keep at most N users\n"
+      "                 materialized per shard; the rest park as compact\n"
+      "                 serialized blobs between visits, so million-user\n"
+      "                 fleets run in O(N) resident testbed memory. The\n"
+      "                 report stays byte-identical to the default engine\n"
+      "                 and to any --threads value. Incompatible with\n"
+      "                 --edge-pops, --adversary, and strategies with\n"
+      "                 cross-visit server state (catalyst+learn,\n"
+      "                 push-learned, rdr-proxy). Default 0: off.\n"
       "  --loss P       per-request fault probability: P mid-stream drops\n"
       "                 plus P/4 silent stalls (default 0: no fault layer)\n"
       "  --outage F     fraction of each hour origins are dark (default 0)\n"
@@ -315,6 +325,48 @@ int main(int argc, char** argv) {
   const bool self_profile = args.has("self-profile");
   obs::set_timing(self_profile);
 
+  // Streaming shard engine (default-off). Parked blobs snapshot *client*
+  // state only, so configurations with cross-visit state outside the
+  // browser — shared edge caches, the scripted adversary, server-side
+  // session learning, the RDR proxy's cache — are config errors, not
+  // silently wrong runs.
+  const double max_live = args.num("max-live-users", 0);
+  if (args.has("max-live-users") && max_live < 1) {
+    std::fprintf(stderr,
+                 "fleetsim: --max-live-users must be a positive user count "
+                 "(got %s)\n",
+                 args.get("max-live-users", "").c_str());
+    return 2;
+  }
+  params.max_live_users = static_cast<std::uint64_t>(max_live);
+  if (params.max_live_users > 0) {
+    if (params.edge.pops > 0) {
+      std::fprintf(stderr,
+                   "fleetsim: --max-live-users is incompatible with "
+                   "--edge-pops (shared PoP caches cannot be parked "
+                   "per-user)\n");
+      return 2;
+    }
+    if (params.options.adversary.enabled) {
+      std::fprintf(stderr,
+                   "fleetsim: --max-live-users is incompatible with "
+                   "--adversary\n");
+      return 2;
+    }
+    for (const core::StrategyKind k : {params.strategy, params.baseline}) {
+      if (k == core::StrategyKind::CatalystLearned ||
+          k == core::StrategyKind::PushLearned ||
+          k == core::StrategyKind::RdrProxy) {
+        std::fprintf(stderr,
+                     "fleetsim: --max-live-users is incompatible with "
+                     "strategy %s (cross-visit server/proxy state is not "
+                     "parked)\n",
+                     std::string(core::to_string(k)).c_str());
+        return 2;
+      }
+    }
+  }
+
   fleet::FleetRunner runner(params, users, threads);
   std::fprintf(stderr, "fleetsim: %llu users, %zu shards, %d thread(s), %s vs %s\n",
                static_cast<unsigned long long>(users), runner.shard_count(),
@@ -359,6 +411,20 @@ int main(int argc, char** argv) {
                secs, secs > 0 ? static_cast<double>(users) / secs : 0.0,
                secs > 0 ? static_cast<double>(report.events_executed) / secs
                         : 0.0);
+  if (params.max_live_users > 0) {
+    // Streaming telemetry goes to stderr like the timing line: the stdout
+    // report must stay byte-identical to the materialize-everything engine.
+    std::fprintf(
+        stderr,
+        "fleetsim: streaming: %llu parks, %llu revives (%llu corrupt), "
+        "peak %llu live users/shard, peak %.1f MiB parked\n",
+        static_cast<unsigned long long>(report.parking.parks),
+        static_cast<unsigned long long>(report.parking.revives),
+        static_cast<unsigned long long>(report.parking.corrupt_revivals),
+        static_cast<unsigned long long>(report.parking.live_users_peak),
+        static_cast<double>(report.parking.parked_bytes_peak) /
+            (1024.0 * 1024.0));
+  }
   if (self_profile) {
     std::fprintf(stderr, "%s", report.prof.render_table(secs).c_str());
   }
