@@ -17,6 +17,10 @@
 //               events/sec drops below min_ratio (default 0.8) of the
 //               baseline — the CI perf gate
 // --users N     explicit macro fleet size (overrides --smoke default)
+// --h2          run the macro fleet with HTTP/2 browsers (one multiplexed
+//               connection per origin instead of six H1 connections);
+//               tags the JSON with "h2":true so H2 numbers are never
+//               compared against the H1 baseline
 // --self-profile  enable the obs wall-clock subsystem timers; adds a
 //               "self_profile" JSON section and a stderr table
 // --overhead-gate  run the macro fleet with the phase breakdown off vs
@@ -148,8 +152,11 @@ struct MacroResult {
 };
 
 /// Fleet replay shaped like the fleetsim reference config (faults + edge
-/// on, catalyst vs baseline), scaled down by --smoke.
-MacroResult run_macro(std::uint64_t users, int threads, bool breakdown) {
+/// on, catalyst vs baseline), scaled down by --smoke. `h2` swaps the
+/// browsers' transport from six H1 connections to one multiplexed H2
+/// connection per origin (the --h2 ablation axis).
+MacroResult run_macro(std::uint64_t users, int threads, bool breakdown,
+                      bool h2 = false) {
   fleet::FleetParams params;
   params.strategy = core::StrategyKind::Catalyst;
   params.baseline = core::StrategyKind::Baseline;
@@ -161,6 +168,7 @@ MacroResult run_macro(std::uint64_t users, int threads, bool breakdown) {
   params.faults.fault_seed = 2024;
   params.edge.pops = 4;
   params.breakdown = breakdown;
+  if (h2) params.options.browser_protocol = netsim::Protocol::H2;
 
   fleet::FleetRunner runner(params, users, threads);
   const double t0 = now_s();
@@ -230,6 +238,7 @@ int main(int argc, char** argv) {
   bool smoke = false;
   bool self_profile = false;
   bool overhead_gate = false;
+  bool h2 = false;
   std::string out_path;
   std::string baseline_path;
   std::uint64_t users = 0;
@@ -243,6 +252,8 @@ int main(int argc, char** argv) {
       self_profile = true;
     } else if (arg == "--overhead-gate") {
       overhead_gate = true;
+    } else if (arg == "--h2") {
+      h2 = true;
     } else if (arg == "--out" && i + 1 < argc) {
       out_path = argv[++i];
     } else if (arg == "--baseline" && i + 1 < argc) {
@@ -258,7 +269,7 @@ int main(int argc, char** argv) {
                    "usage: engine_hotpath [--smoke] [--out FILE]\n"
                    "                      [--baseline FILE] [--users N]\n"
                    "                      [--min-ratio R] [--self-profile]\n"
-                   "                      [--overhead-gate]\n"
+                   "                      [--h2] [--overhead-gate]\n"
                    "                      [--overhead-ratio R]\n");
       return 2;
     }
@@ -305,12 +316,15 @@ int main(int argc, char** argv) {
   micro.set("zipf_draw_ns", Json::number(bench_zipf_draw(iters / 10)));
   micro.set("digest_memo_hit_ns", Json::number(bench_digest_memo(iters)));
 
-  std::fprintf(stderr, "engine_hotpath: macro fleet %llu users...\n",
-               static_cast<unsigned long long>(users));
+  std::fprintf(stderr, "engine_hotpath: macro fleet %llu users%s...\n",
+               static_cast<unsigned long long>(users), h2 ? " (h2)" : "");
   const MacroResult macro = run_macro(users, /*threads=*/8,
-                                      /*breakdown=*/false);
+                                      /*breakdown=*/false, h2);
 
   Json result = to_json(smoke, micro, macro);
+  // Mark H2 runs so their numbers are never mistaken for (or gated
+  // against) the H1 baseline; the default schema stays unchanged.
+  if (h2) result.set("h2", Json::boolean(true));
   if (self_profile) {
     // Wall-clock numbers: useful to a human reading this run's JSON,
     // never compared against baselines.

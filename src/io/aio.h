@@ -91,7 +91,7 @@ struct AioStats {
 /// submission sequence and the Rng state, never of wall-clock anything.
 class AioEngine {
  public:
-  using Completion = std::function<void()>;
+  using Completion = netsim::EventFn;
 
   /// `rng` supplies the jitter stream and `stats` receives telemetry;
   /// both must outlive the engine (they live in the EdgePop so they

@@ -21,8 +21,7 @@ Link::Link(EventLoop& loop, std::string name, Bandwidth capacity)
   }
 }
 
-TransferId Link::start_transfer(ByteCount bytes,
-                                std::function<void()> on_done) {
+TransferId Link::start_transfer(ByteCount bytes, EventFn on_done) {
   settle();
   const TransferId id = next_id_++;
   flows_.push_back(

@@ -10,7 +10,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <string>
 #include <vector>
 
@@ -33,7 +32,7 @@ class Link {
   /// Starts transferring `bytes`; `on_done` fires on the event loop when the
   /// last byte has been clocked onto the wire. Zero-byte transfers complete
   /// on the next loop iteration at the current time.
-  TransferId start_transfer(ByteCount bytes, std::function<void()> on_done);
+  TransferId start_transfer(ByteCount bytes, EventFn on_done);
 
   /// Aborts an in-flight transfer (no callback). Unknown ids are ignored.
   void abort_transfer(TransferId id);
@@ -53,7 +52,7 @@ class Link {
     TransferId id;
     double remaining_bytes;
     ByteCount total_bytes;
-    std::function<void()> on_done;
+    EventFn on_done;
   };
 
   /// Applies progress for the interval [last_update_, now].

@@ -64,7 +64,7 @@ Duration Network::rtt(const std::string& a, const std::string& b) const {
 }
 
 void Network::send_bytes(const std::string& from, const std::string& to,
-                         ByteCount bytes, std::function<void()> on_delivered) {
+                         ByteCount bytes, EventFn on_delivered) {
   Host& sender = host(from);
   Host& receiver = host(to);
   const Duration propagation = one_way(from, to);

@@ -94,7 +94,7 @@ class Network {
   /// link clocks the bytes, then one-way propagation elapses, then
   /// `on_delivered` runs. This is the only way bytes move in catalyst.
   void send_bytes(const std::string& from, const std::string& to,
-                  ByteCount bytes, std::function<void()> on_delivered);
+                  ByteCount bytes, EventFn on_delivered);
 
   /// Slow-start modelling knobs (see NetworkConditions::model_slow_start).
   void set_model_slow_start(bool enabled) { model_slow_start_ = enabled; }

@@ -18,7 +18,7 @@ Connection::Connection(Network& network, std::string client,
       resolve_dns_(resolve_dns),
       cwnd_(network.initial_cwnd()) {}
 
-void Connection::connect(std::function<void()> on_established) {
+void Connection::connect(EventFn on_established) {
   if (state_ == State::Established) {
     network_.loop().schedule_after(Duration::zero(),
                                    std::move(on_established));

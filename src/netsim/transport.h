@@ -51,7 +51,7 @@ class Connection {
 
   /// Starts the handshake if needed; `on_established` runs (possibly
   /// immediately via the loop) once the connection is usable.
-  void connect(std::function<void()> on_established);
+  void connect(EventFn on_established);
 
   bool established() const { return state_ == State::Established; }
 
@@ -130,7 +130,7 @@ class Connection {
   bool resolve_dns_;
   State state_ = State::Idle;
   TimePoint established_at_{};
-  std::vector<std::function<void()>> connect_waiters_;
+  std::vector<EventFn> connect_waiters_;
   std::deque<PendingRequest> queue_;  // H1 serialization
   std::size_t inflight_ = 0;
   ByteCount cwnd_;

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "fleet/runner.h"
+#include "netsim/transport.h"
 
 namespace catalyst::fleet {
 namespace {
@@ -41,6 +42,17 @@ TEST(FleetDeterminismTest, ShardBoundariesDoNotChangeReportBytes) {
   const std::string split = run_fleet(one_each, 8);
   const std::string whole = run_fleet(all_in_one, 1);
   EXPECT_EQ(split, whole);
+}
+
+TEST(FleetDeterminismTest, H2TransportIsThreadInvariant) {
+  // The --h2 ablation axis must uphold the same invariant as H1: forcing
+  // browser_protocol changes the simulated transport, not determinism.
+  FleetParams h2 = small_fleet();
+  h2.options.browser_protocol = netsim::Protocol::H2;
+  const std::string one = run_fleet(h2, 1);
+  EXPECT_EQ(run_fleet(h2, 8), one);
+  // And the axis is real: H2 reports differ from H1 reports.
+  EXPECT_NE(run_fleet(small_fleet(), 1), one);
 }
 
 TEST(FleetDeterminismTest, SeedChangesReport) {

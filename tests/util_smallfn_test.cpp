@@ -1,0 +1,143 @@
+// SmallFn is the event loop's callback type: every scheduled closure on
+// the fetch path flows through it, so the tests pin the properties the
+// dispatcher relies on — inline storage for small captures, the boxed
+// fallback for large ones, move-only ownership, and destruction exactly
+// once.
+#include "util/smallfn.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <functional>
+#include <memory>
+#include <utility>
+
+namespace catalyst {
+namespace {
+
+using VoidFn = SmallFn<void()>;
+using IntFn = SmallFn<int(int)>;
+
+TEST(SmallFnTest, DefaultAndNullptrAreEmpty) {
+  VoidFn empty;
+  EXPECT_FALSE(empty);
+  VoidFn null = nullptr;
+  EXPECT_FALSE(null);
+  empty.reset();  // resetting an empty fn is a no-op
+  EXPECT_FALSE(empty);
+}
+
+TEST(SmallFnTest, InvokesAndForwardsArguments) {
+  IntFn twice = [](int x) { return 2 * x; };
+  ASSERT_TRUE(twice);
+  EXPECT_EQ(twice(21), 42);
+}
+
+TEST(SmallFnTest, SmallCapturesStayInline) {
+  // A `this`-pointer-plus-handles capture: the fetch-path common case.
+  struct Capture {
+    void* self;
+    std::uint64_t a, b, c;
+  };
+  static_assert(sizeof(Capture) <= kSmallFnInlineBytes);
+  int sink = 0;
+  auto small = [&sink, pad = Capture{}] { (void)pad, ++sink; };
+  EXPECT_TRUE(VoidFn::stores_inline<decltype(small)>());
+  VoidFn fn = small;
+  fn();
+  EXPECT_EQ(sink, 1);
+}
+
+TEST(SmallFnTest, OversizedCapturesAreBoxedButStillWork) {
+  std::array<std::uint64_t, 16> big{};  // 128 bytes > 48-byte buffer
+  big[7] = 99;
+  auto large = [big] { return big[7]; };
+  EXPECT_FALSE(SmallFn<std::uint64_t()>::stores_inline<decltype(large)>());
+  SmallFn<std::uint64_t()> fn = large;
+  EXPECT_EQ(fn(), 99u);
+  // Boxed payloads survive moves: the box pointer transfers.
+  SmallFn<std::uint64_t()> moved = std::move(fn);
+  EXPECT_FALSE(fn);  // NOLINT(bugprone-use-after-move): asserting the state
+  EXPECT_EQ(moved(), 99u);
+}
+
+TEST(SmallFnTest, AcceptsMoveOnlyCaptures) {
+  auto owned = std::make_unique<int>(7);
+  SmallFn<int()> fn = [p = std::move(owned)] { return *p; };
+  EXPECT_EQ(fn(), 7);
+  SmallFn<int()> moved = std::move(fn);
+  EXPECT_EQ(moved(), 7);
+}
+
+TEST(SmallFnTest, MoveTransfersStateAndEmptiesSource) {
+  int calls = 0;
+  VoidFn a = [&calls] { ++calls; };
+  VoidFn b = std::move(a);
+  EXPECT_FALSE(a);  // NOLINT(bugprone-use-after-move): asserting the state
+  ASSERT_TRUE(b);
+  b();
+  EXPECT_EQ(calls, 1);
+
+  // Move-assign over a live target destroys the old payload first.
+  VoidFn c = [&calls] { calls += 10; };
+  c = std::move(b);
+  c();
+  EXPECT_EQ(calls, 2);
+
+  // Move-assign from empty leaves the target empty (the SlabPool reset
+  // idiom: `value = T{}`).
+  c = VoidFn{};
+  EXPECT_FALSE(c);
+}
+
+TEST(SmallFnTest, NonTrivialInlineCaptureDestroysExactlyOnce) {
+  // shared_ptr capture: inline (16 bytes) but not trivially copyable, so
+  // the manage_ path handles moves and destruction.
+  auto token = std::make_shared<int>(0);
+  auto capture = [token] {};
+  EXPECT_TRUE(VoidFn::stores_inline<decltype(capture)>());
+  {
+    VoidFn fn = std::move(capture);
+    EXPECT_EQ(token.use_count(), 2);
+    VoidFn moved = std::move(fn);
+    EXPECT_EQ(token.use_count(), 2);  // moved, not copied
+    moved.reset();
+    EXPECT_EQ(token.use_count(), 1);
+  }
+  EXPECT_EQ(token.use_count(), 1);
+}
+
+TEST(SmallFnTest, BoxedCaptureDestroysExactlyOnce) {
+  auto token = std::make_shared<int>(0);
+  std::array<char, 64> pad{};
+  {
+    VoidFn fn = [token, pad] { (void)pad; };
+    EXPECT_EQ(token.use_count(), 2);
+    VoidFn moved = std::move(fn);
+    EXPECT_EQ(token.use_count(), 2);
+    // Destructor of `moved` at scope exit frees the box.
+  }
+  EXPECT_EQ(token.use_count(), 1);
+}
+
+TEST(SmallFnTest, MutableLambdaKeepsStateAcrossCalls) {
+  SmallFn<int()> counter = [n = 0]() mutable { return ++n; };
+  EXPECT_EQ(counter(), 1);
+  EXPECT_EQ(counter(), 2);
+  SmallFn<int()> moved = std::move(counter);
+  EXPECT_EQ(moved(), 3);  // state moved with the closure
+}
+
+TEST(SmallFnTest, WrapsStdFunctionByValue) {
+  // Call sites sometimes hand the loop a std::function (e.g. a stored
+  // recursive callback); SmallFn must wrap it like any other callable.
+  int calls = 0;
+  std::function<void()> fn = [&calls] { ++calls; };
+  VoidFn wrapped = fn;
+  wrapped();
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(bool(fn), true);  // source untouched: wrapped a copy
+}
+
+}  // namespace
+}  // namespace catalyst

@@ -139,6 +139,10 @@ struct RoundConfig {
   bool negative = false;
   Duration negative_ttl = seconds(60);
   double dead_links = 0.0;
+  // Browser transport: H2 rounds run every arm over one multiplexed
+  // connection per origin, so the oracle audits both transports. Appended
+  // after the error-model draws (same prefix-stability rule).
+  bool h2 = false;
 };
 
 RoundConfig draw_round(std::uint64_t round_seed) {
@@ -189,6 +193,7 @@ RoundConfig draw_round(std::uint64_t round_seed) {
   cfg.negative = rng.bernoulli(0.3);
   cfg.negative_ttl = seconds(rng.uniform_int(30, 300));
   cfg.dead_links = rng.bernoulli(0.3) ? 0.1 : 0.0;
+  cfg.h2 = rng.bernoulli(0.5);
   return cfg;
 }
 
@@ -255,6 +260,7 @@ ArmResult run_arm(const RoundConfig& cfg, core::StrategyKind kind,
       opts.adversary.seed = cfg.round_seed;
     }
     opts.mobile_client = du.mobile;
+    if (cfg.h2) opts.browser_protocol = netsim::Protocol::H2;
     opts.edge_pop = pop.get();
     opts.phase_recorder = recorder;
     netsim::NetworkConditions cond = fleet::conditions_for(du.tier);
@@ -460,6 +466,11 @@ RoundConfig minimize(RoundConfig cfg, Mutation mutate) {
     c.dead_links = 0.0;
     if (still_fails(c)) cfg = c;
   }
+  if (cfg.h2) {
+    RoundConfig c = cfg;
+    c.h2 = false;
+    if (still_fails(c)) cfg = c;
+  }
   if (cfg.flash) {
     RoundConfig c = cfg;
     c.flash = false;
@@ -522,6 +533,7 @@ std::string repro_command(const RoundConfig& cfg, std::uint64_t base_seed,
   if (original.dead_links > 0.0 && cfg.dead_links == 0.0) {
     cmd += " --no-dead-links";
   }
+  if (original.h2 && !cfg.h2) cmd += " --no-h2";
   if (original.flash && !cfg.flash) cmd += " --no-flash";
   if (original.edge && !cfg.edge) cmd += " --no-edge";
   if (!original.static_site && cfg.static_site) cmd += " --static-site";
@@ -550,6 +562,8 @@ void apply_overrides(RoundConfig& cfg, const Args& args) {
   if (args.has("no-faults")) cfg.faults = false;
   if (args.has("no-negative")) cfg.negative = false;
   if (args.has("no-dead-links")) cfg.dead_links = 0.0;
+  if (args.has("no-h2")) cfg.h2 = false;
+  if (args.has("h2")) cfg.h2 = true;  // force the H2 transport axis on
   if (args.has("no-flash")) cfg.flash = false;
   if (args.has("no-edge")) cfg.edge = false;
   if (args.has("static-site")) cfg.static_site = true;
@@ -575,6 +589,7 @@ core::Testbed parked_testbed(const RoundConfig& cfg,
   const DiffUser& du = cfg.users[u];
   core::StrategyOptions opts;
   opts.mobile_client = du.mobile;
+  if (cfg.h2) opts.browser_protocol = netsim::Protocol::H2;
   if (cfg.negative) {
     opts.negative_cache.enabled = true;
     opts.negative_cache.default_ttl = cfg.negative_ttl;
@@ -710,11 +725,12 @@ void usage() {
       "                [--verbose] [--users N] [--visits N] [--no-faults]\n"
       "                [--no-edge] [--no-flash] [--static-site]\n"
       "                [--no-third-party] [--no-negative]\n"
-      "                [--no-dead-links]\n"
+      "                [--no-dead-links] [--h2] [--no-h2]\n"
       "\n"
       "Runs N rounds of randomized differential testing: each round draws\n"
       "a workload (site x TTL profile x change model x faults x edge x\n"
-      "negative caching x dead links) from seed+round and replays it under\n"
+      "negative caching x dead links x H1/H2 transport) from seed+round\n"
+      "and replays it under\n"
       "Baseline, Catalyst, and Catalyst behind an edge PoP, all through\n"
       "the byte-equivalence oracle.\n"
       "Exit 0: no violations and no unexplained content divergence.\n"

@@ -6,7 +6,7 @@
 //            [--loss P] [--outage F] [--fault-seed S]
 //            [--edge-pops N] [--edge-capacity-mb M] [--edge-origin-rtt-ms R]
 //            [--edge-flash-mb M] [--edge-flash-lat-us U] [--edge-flash-qd Q]
-//            [--breakdown] [--self-profile] [--json] [--live]
+//            [--h2] [--breakdown] [--self-profile] [--json] [--live]
 //
 // Runs N independent user sessions (Zipf site popularity, Poisson revisit
 // schedules, mixed access tiers) under the chosen strategy, replays the
@@ -92,7 +92,7 @@ void usage() {
       "                [--edge-flash-lat-us U] [--edge-flash-qd Q]\n"
       "                [--negative-ttl-s T] [--dead-links F] [--adversary]\n"
       "                [--adversary-rate R] [--adversary-seed S]\n"
-      "                [--vulnerable-keying] [--breakdown]\n"
+      "                [--vulnerable-keying] [--h2] [--breakdown]\n"
       "                [--self-profile] [--json]\n"
       "\n"
       "  --max-live-users N  streaming shard engine: keep at most N users\n"
@@ -139,6 +139,12 @@ void usage() {
       "  --trace-users N  record replayable JSONL traces for users 0..N-1\n"
       "  --trace-out F    write recorded traces to file F (requires\n"
       "                   --trace-users; '-' for stdout)\n"
+      "  --h2           browsers speak HTTP/2 to every origin: one\n"
+      "                 multiplexed connection instead of six HTTP/1.1\n"
+      "                 connections per origin (default off: H1, matching\n"
+      "                 the paper's testbed; push strategies always use\n"
+      "                 H2 regardless). Reports stay bit-identical for\n"
+      "                 any --threads value.\n"
       "  --breakdown    record per-request latency phase breakdowns (dns/\n"
       "                 connect/tls/queue/ttfb/transfer/...) and add a\n"
       "                 \"phases\" section per strategy arm to the report;\n"
@@ -304,6 +310,18 @@ int main(int argc, char** argv) {
         args.num("adversary-seed", 0xadba5e));
   }
   params.edge.vulnerable_keying = args.has("vulnerable-keying");
+
+  // Browser transport (default H1 — the paper's six-connection testbed).
+  // --h2 pins every browser connection to one multiplexed H2 stream; it
+  // takes no value.
+  if (args.has("h2")) {
+    if (!args.get("h2", "").empty()) {
+      std::fprintf(stderr, "fleetsim: --h2 takes no value (got \"%s\")\n",
+                   args.get("h2", "").c_str());
+      return 2;
+    }
+    params.options.browser_protocol = netsim::Protocol::H2;
+  }
 
   // Correctness oracle + trace recording (default-off; both keep the
   // default report byte-identical to pre-oracle builds).
